@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation.  Besides pytest-benchmark's timing output, each bench writes
+its paper-vs-measured table to ``benchmarks/results/<name>.txt`` (and
+echoes it to stdout) so the reproduction record survives the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record(name: str, text: str) -> None:
+    """Persist a result table and echo it for -s runs."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

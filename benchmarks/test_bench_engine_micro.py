@@ -1,0 +1,62 @@
+"""Microbenchmarks of the simulator substrate itself.
+
+These are conventional pytest-benchmark timings (multiple rounds) for the
+hot paths: event scheduling, queue service, and end-to-end packet
+simulation throughput — useful for tracking performance regressions in the
+simulator that all reproductions run on.
+"""
+
+from repro import Simulation, make_flow
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+from repro.sim.engine import EventScheduler
+from repro.topology import build_two_links
+
+
+def test_engine_event_throughput(benchmark):
+    def run():
+        sched = EventScheduler()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20000:
+                sched.schedule_in(0.001, tick)
+
+        sched.schedule_in(0.001, tick)
+        sched.run()
+        return count[0]
+
+    assert benchmark(run) == 20000
+
+
+def test_queue_service_throughput(benchmark):
+    class Sink:
+        def receive(self, packet):
+            pass
+
+    def run():
+        sim = Simulation(seed=1)
+        q = DropTailQueue(sim, rate_pps=1e6, capacity=10**6, jitter=0.0)
+        sink = Sink()
+        for _ in range(5000):
+            Packet((q, sink), size=1.0, flow=None).send()
+        sim.run()
+        return q.departures
+
+    assert benchmark(run) == 5000
+
+
+def test_mptcp_simulation_throughput(benchmark):
+    """Simulated seconds of a 2-path MPTCP flow at 2x500 pkt/s per wall
+    second — the figure of merit for every experiment in this repo."""
+
+    def run():
+        sim = Simulation(seed=2)
+        sc = build_two_links(sim, 500.0, 500.0, buffer1_pkts=50, buffer2_pkts=50)
+        flow = make_flow(sim, sc.routes("multi"), "mptcp", name="m")
+        flow.start()
+        sim.run_until(10.0)
+        return flow.packets_delivered
+
+    assert benchmark(run) > 5000

@@ -1,0 +1,91 @@
+"""§3 / Fig 10 — load balancing at a dual-homed server.
+
+Paper setup (testbed, reproduced in simulation per DESIGN.md): a server
+with two 100 Mb/s links, 10 ms of added latency; 5 long-lived TCPs on
+link 1 and 15 on link 2.  After one minute, 10 multipath flows (able to
+use both links) start.  Claim: the multipath flows shift their weight
+towards the less-congested link 1, significantly narrowing the per-flow
+throughput gap between the two client groups, despite being only a third
+of the flows.
+"""
+
+from repro import Simulation, Table, make_flow, measure
+from repro.net.network import mbps_to_pps, pps_to_mbps
+from repro.topology import build_two_links
+
+from conftest import record
+
+
+def run_experiment(algo: str = "mptcp", seed: int = 61):
+    sim = Simulation(seed=seed)
+    rate = mbps_to_pps(100)
+    sc = build_two_links(
+        sim, rate, rate, delay1=0.010, delay2=0.010,
+        buffer1_pkts=100, buffer2_pkts=100,
+    )
+    flows = {}
+    for i in range(5):
+        f = make_flow(sim, [sc.net.route(["s1", "d1"], name=f"g1.{i}")],
+                      "reno", name=f"g1.{i}")
+        f.start(at=0.02 * i)
+        flows[f"g1.{i}"] = f
+    for i in range(15):
+        f = make_flow(sim, [sc.net.route(["s2", "d2"], name=f"g2.{i}")],
+                      "reno", name=f"g2.{i}")
+        f.start(at=0.02 * i + 0.01)
+        flows[f"g2.{i}"] = f
+
+    # Phase 1: only the single-path groups.
+    phase1 = measure(sim, flows, warmup=20.0, duration=40.0)
+
+    # Phase 2: ten multipath flows join, able to use both links.
+    multis = {}
+    for i in range(10):
+        mf = make_flow(
+            sim,
+            [sc.net.route(["s1", "d1"], name=f"m{i}.1"),
+             sc.net.route(["s2", "d2"], name=f"m{i}.2")],
+            algo,
+            name=f"m{i}",
+        )
+        mf.start(at=sim.now + 0.05 * i)
+        multis[f"m{i}"] = mf
+    all_flows = dict(flows)
+    all_flows.update(multis)
+    phase2 = measure(sim, all_flows, warmup=sim.now + 30.0, duration=60.0)
+
+    def group_mean(measurement, prefix, count):
+        return sum(measurement[f"{prefix}.{i}"] for i in range(count)) / count
+
+    multi_sub = [phase2.subflow_rates[f"m{i}"] for i in range(10)]
+    link1_share = sum(s[0] for s in multi_sub)
+    link2_share = sum(s[1] for s in multi_sub)
+    return {
+        "before": (group_mean(phase1, "g1", 5), group_mean(phase1, "g2", 15)),
+        "after": (group_mean(phase2, "g1", 5), group_mean(phase2, "g2", 15)),
+        "multi_mean": sum(phase2[f"m{i}"] for i in range(10)) / 10,
+        "multi_split": (link1_share, link2_share),
+    }
+
+
+def test_fig10_server_load_balancing(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    b1, b2 = result["before"]
+    a1, a2 = result["after"]
+    s1, s2 = result["multi_split"]
+    table = Table(["quantity", "link 1 (5 TCPs)", "link 2 (15 TCPs)"])
+    table.add_row(["per-flow Mb/s before", pps_to_mbps(b1), pps_to_mbps(b2)])
+    table.add_row(["per-flow Mb/s after", pps_to_mbps(a1), pps_to_mbps(a2)])
+    table.add_row(["MPTCP aggregate Mb/s", pps_to_mbps(s1), pps_to_mbps(s2)])
+    record("fig10_server_lb", table.render(
+        "Fig 10: dual-homed server, 10 MPTCP flows join at t~60s"
+    ))
+
+    # Before: link 1 flows get ~3x the throughput of link 2 flows.
+    assert b1 > 2.0 * b2
+    # The multipath flows put most of their traffic on the emptier link 1.
+    assert s1 > 2.0 * s2
+    # And the gap between the groups narrows substantially.
+    gap_before = b1 / b2
+    gap_after = a1 / a2
+    assert gap_after < 0.7 * gap_before

@@ -1,0 +1,50 @@
+"""§4 / Fig 12 — FatTree throughput vs number of paths used.
+
+Paper claim: under TP1 on the 128-host FatTree, MPTCP needs about 8 paths
+to reach ~90 % of optimal throughput; single-path TCP (1 path) sits around
+50 %.  We sweep the per-flow path count 1..8 on the scaled fabric and
+report % of the NIC rate.
+"""
+
+from repro import Simulation, Table
+from repro.harness.datacenter import run_matrix
+from repro.topology import FatTree
+from repro.traffic import permutation_matrix
+
+from conftest import record
+
+LINK_RATE = 1042.0  # 12.5 Mb/s fabric (see DESIGN.md scaling note)
+PATH_COUNTS = (1, 2, 4, 8)
+
+
+def run_point(paths: int, seed: int = 91) -> float:
+    sim = Simulation(seed=seed)
+    ft = FatTree.build(sim, k=8, rate_pps=LINK_RATE, buffer_pkts=100)
+    pairs = permutation_matrix(ft.hosts, sim.rng)
+    algorithm = "single" if paths == 1 else "mptcp"
+    run = run_matrix(
+        sim, ft.net, pairs, algorithm,
+        path_count=paths, warmup=2.0, duration=2.5,
+        host_link_rate=LINK_RATE,
+    )
+    return 100.0 * run.mean_utilisation()
+
+
+def run_experiment():
+    return {paths: run_point(paths) for paths in PATH_COUNTS}
+
+
+def test_fig12_paths_needed(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = Table(["paths used", "throughput (% of optimal)"])
+    for paths, value in results.items():
+        table.add_row([paths, value])
+    record("fig12_paths", table.render(
+        "Fig 12: FatTree TP1 throughput vs paths per flow "
+        "(paper: ~50% at 1 path, ~90% at 8)"
+    ))
+
+    # Monotone-ish improvement, large step from 1 to 2+, ~90% by 8 paths.
+    assert results[2] > results[1] + 10
+    assert results[8] > 80
+    assert results[8] >= results[2] - 5

@@ -1,0 +1,67 @@
+"""§4 / Fig 13 — distributions of flow throughput and link loss (FatTree).
+
+Paper claim (TP1, rank plots): MPTCP allocates throughput across flows
+more fairly than EWTCP, which is fairer than single-path; MPTCP also
+balances congestion across core links better (flatter loss-rate ranks).
+We print deciles of both distributions and check the fairness ordering
+with Jain's index.
+"""
+
+from repro import Simulation, Table, jain_index
+from repro.harness.datacenter import run_matrix
+from repro.topology import FatTree
+from repro.traffic import permutation_matrix
+
+from conftest import record
+
+LINK_RATE = 1042.0
+
+
+def run_algo(algorithm: str, seed: int = 95):
+    sim = Simulation(seed=seed)
+    ft = FatTree.build(sim, k=8, rate_pps=LINK_RATE, buffer_pkts=100)
+    pairs = permutation_matrix(ft.hosts, sim.rng)
+    run = run_matrix(
+        sim, ft.net, pairs, algorithm,
+        path_count=8, warmup=2.0, duration=2.5,
+        host_link_rate=LINK_RATE,
+    )
+    rates = run.sorted_rates()
+    losses = run.sorted_losses()
+    return rates, losses
+
+
+def deciles(values):
+    if not values:
+        return [0.0] * 5
+    return [values[int(q * (len(values) - 1))] for q in (0.0, 0.25, 0.5, 0.75, 1.0)]
+
+
+def run_experiment():
+    return {a: run_algo(a) for a in ("single", "ewtcp", "mptcp")}
+
+
+def test_fig13_distributions(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = Table(
+        ["algorithm", "metric", "min", "p25", "median", "p75", "max"],
+        precision=3,
+    )
+    jains = {}
+    for algo, (rates, losses) in results.items():
+        util = [100.0 * r / LINK_RATE for r in rates]
+        table.add_row([algo, "flow tput (%NIC)"] + deciles(util))
+        table.add_row([algo, "link loss"] + deciles(losses))
+        jains[algo] = jain_index(rates)
+    record("fig13_distribution", table.render(
+        "Fig 13: FatTree TP1 rank distributions "
+        f"(Jain: {', '.join(f'{a}={j:.3f}' for a, j in jains.items())})"
+    ))
+
+    # MPTCP allocates throughput more fairly than EWTCP, which beats
+    # single-path's lottery of congested shortest paths.
+    assert jains["mptcp"] > jains["ewtcp"] - 0.02
+    assert jains["mptcp"] > jains["single"]
+    # Multipath lifts the WORST flows (the paper's fairness argument):
+    worst = {a: results[a][0][0] for a in results}
+    assert worst["mptcp"] > worst["single"]

@@ -1,0 +1,85 @@
+"""§5 / Fig 15 — wireless client competing with single-path TCPs.
+
+Paper setup: the multipath flow shares WiFi with one single-path TCP and
+3G with another.  Five-minute averages (Mb/s):
+
+                multipath   TCP-WiFi   TCP-3G
+    EWTCP          1.66        3.11      1.20
+    COUPLED        1.41        3.49      0.97
+    MPTCP          2.21        2.56      0.65
+
+The claims: only MPTCP's RTT compensation gives the multipath flow a fair
+total (close to the best single-path flow); COUPLED hides on the
+less-congested 3G path; EWTCP averages the two paths.
+"""
+
+from repro import Simulation, Table, measure
+from repro.core.registry import make_controller
+from repro.mptcp.connection import MptcpFlow
+from repro.net.network import pps_to_mbps
+from repro.tcp.sender import TcpFlow
+from repro.topology import build_3g_path, build_wifi_path
+
+from conftest import record
+
+PAPER = {
+    "ewtcp": (1.66, 3.11, 1.20),
+    "coupled": (1.41, 3.49, 0.97),
+    "mptcp": (2.21, 2.56, 0.65),
+}
+
+# The paper's five-minute testbed averages have WiFi delivering ~4-5 Mb/s
+# total (interference-limited), far below the 14.4 Mb/s static test.  We
+# model that regime directly.
+WIFI_RATE_MBPS = 5.0
+WIFI_LOSS = 0.015
+
+
+def run_algo(algo: str, seed: int = 121):
+    sim = Simulation(seed=seed)
+    wifi = build_wifi_path(sim, rate_mbps=WIFI_RATE_MBPS, loss_prob=WIFI_LOSS)
+    threeg = build_3g_path(sim)
+    tcp_wifi = TcpFlow(sim, wifi.route("s1"), make_controller("reno"), name="s1")
+    tcp_3g = TcpFlow(sim, threeg.route("s2"), make_controller("reno"), name="s2")
+    multi = MptcpFlow(
+        sim, [wifi.route("m.wifi"), threeg.route("m.3g")],
+        make_controller(algo), name="m",
+    )
+    tcp_wifi.start()
+    tcp_3g.start(at=0.3)
+    multi.start(at=0.6)
+    m = measure(
+        sim, {"s1": tcp_wifi, "s2": tcp_3g, "m": multi},
+        warmup=40.0, duration=150.0,
+    )
+    return tuple(pps_to_mbps(m[k]) for k in ("m", "s1", "s2"))
+
+
+def run_experiment():
+    return {algo: run_algo(algo) for algo in ("ewtcp", "coupled", "mptcp")}
+
+
+def test_fig15_competing_wireless(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = Table(
+        ["algorithm",
+         "paper multi/wifi/3g",
+         "multipath Mb/s", "TCP-WiFi Mb/s", "TCP-3G Mb/s"],
+        precision=2,
+    )
+    for algo, rates in results.items():
+        paper = "/".join(str(v) for v in PAPER[algo])
+        table.add_row([algo, paper, *rates])
+    record("fig15_competing", table.render(
+        "Fig 15: multipath vs one competing TCP per wireless path"
+    ))
+
+    # MPTCP gets the best multipath throughput of the three algorithms.
+    assert results["mptcp"][0] > results["ewtcp"][0]
+    assert results["mptcp"][0] > results["coupled"][0]
+    # COUPLED starves the multipath flow's WiFi side and squats on 3G:
+    # the 3G competitor does worst under COUPLED-and-MPTCP style pressure,
+    # while the WiFi competitor does best under COUPLED (paper's 3.49).
+    assert results["coupled"][1] > results["mptcp"][1]
+    # MPTCP total is comparable to the best single-path flow (fair).
+    assert results["mptcp"][0] > 0.6 * results["mptcp"][1]

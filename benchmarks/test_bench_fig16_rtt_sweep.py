@@ -1,0 +1,67 @@
+"""§5 / Fig 16 — RTT compensation across a capacity/RTT grid.
+
+Paper setup: link 1 fixed at C1 = 400 pkt/s, RTT1 = 100 ms; link 2 swept
+over C2 ∈ {400, 800, 1600, 3200} pkt/s and RTT2 ∈ {12..800} ms.  Metric:
+flow M's throughput divided by the better of S1 and S2.  Paper claims the
+ratio is within a few percent of 1 except at very small bandwidth-delay
+products on link 2 (timeout-dominated), and that M always beats the best
+single path it could have used alone, by ~15 % on average.
+"""
+
+from repro import Simulation, Table, make_flow, measure
+from repro.topology import build_two_links
+
+from conftest import record
+
+C2_VALUES = (400.0, 800.0, 1600.0, 3200.0)
+RTT2_VALUES = (0.012, 0.050, 0.200, 0.800)
+
+
+def run_point(c2: float, rtt2: float, seed: int = 141) -> float:
+    sim = Simulation(seed=seed)
+    sc = build_two_links(
+        sim,
+        rate1_pps=400.0, rate2_pps=c2,
+        delay1=0.050, delay2=rtt2 / 2.0,
+        buffer1_pkts=40, buffer2_pkts=max(8, int(c2 * rtt2)),
+    )
+    s1 = make_flow(sim, sc.routes("link1"), "reno", name="S1")
+    s2 = make_flow(sim, sc.routes("link2"), "reno", name="S2")
+    m = make_flow(sim, sc.routes("multi"), "mptcp", name="M")
+    s1.start()
+    s2.start(at=0.2)
+    m.start(at=0.4)
+    result = measure(
+        sim, {"S1": s1, "S2": s2, "M": m}, warmup=25.0, duration=70.0
+    )
+    return result["M"] / max(result["S1"], result["S2"])
+
+
+def run_experiment():
+    return {
+        (c2, rtt2): run_point(c2, rtt2)
+        for c2 in C2_VALUES
+        for rtt2 in RTT2_VALUES
+    }
+
+
+def test_fig16_rtt_sweep(benchmark):
+    ratios = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = Table(
+        ["C2 (pkt/s)"] + [f"RTT2={int(r * 1000)}ms" for r in RTT2_VALUES],
+        precision=2,
+    )
+    for c2 in C2_VALUES:
+        table.add_row([int(c2)] + [ratios[(c2, r)] for r in RTT2_VALUES])
+    record("fig16_rtt_sweep", table.render(
+        "Fig 16: M's throughput / best(S1, S2) "
+        "(paper: ~1.0 except tiny BDP on link 2)"
+    ))
+
+    comfortable = [
+        v for (c2, rtt2), v in ratios.items() if c2 * rtt2 > 30.0
+    ]
+    # Away from the tiny-BDP corner, M is within a reasonable band of the
+    # best single-path flow (paper: within a few percent of 1).
+    assert all(v > 0.6 for v in comfortable)
+    assert sum(comfortable) / len(comfortable) > 0.8

@@ -1,0 +1,49 @@
+"""§2.1 / Fig 1 — fairness at a shared bottleneck.
+
+Paper claim: running regular TCP on each subflow lets a two-path flow grab
+twice a single-path TCP's share; the coupled algorithms are fair (ratio
+~1).  We report multipath/single-path throughput ratios for each algorithm
+against six competing single-path TCPs.
+"""
+
+from repro import Simulation, Table, make_flow, measure
+from repro.topology import build_shared_bottleneck
+
+from conftest import record
+
+PAPER_RATIOS = {"uncoupled": 2.0, "ewtcp": 1.0, "mptcp": 1.0, "coupled": 1.0}
+
+
+def ratio_for(algo: str, seed: int = 11) -> float:
+    sim = Simulation(seed=seed)
+    sc = build_shared_bottleneck(sim, rate_pps=2000, delay=0.05, buffer_pkts=200)
+    flows = {}
+    for i in range(6):
+        f = make_flow(
+            sim, [sc.net.route(["src", "dst"], name=f"s{i}")], "reno", name=f"s{i}"
+        )
+        f.start(at=0.05 * i)
+        flows[f"s{i}"] = f
+    multi = make_flow(sim, sc.routes("multi"), algo, name="multi")
+    multi.start(at=0.4)
+    flows["multi"] = multi
+    m = measure(sim, flows, warmup=25.0, duration=90.0)
+    singles = sum(m[f"s{i}"] for i in range(6)) / 6
+    return m["multi"] / singles
+
+
+def run_experiment() -> dict:
+    return {algo: ratio_for(algo) for algo in PAPER_RATIOS}
+
+
+def test_fig1_shared_bottleneck_fairness(benchmark):
+    ratios = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = Table(["algorithm", "paper ratio", "measured ratio"], precision=2)
+    for algo, paper in PAPER_RATIOS.items():
+        table.add_row([algo, paper, ratios[algo]])
+    record("fig1_fairness", table.render("Fig 1 scenario: multipath vs "
+                                         "single-path share at one bottleneck"))
+    assert 1.5 < ratios["uncoupled"] < 2.7
+    assert 0.7 < ratios["mptcp"] < 1.6
+    assert 0.7 < ratios["ewtcp"] < 1.6
+    assert 0.6 < ratios["coupled"] < 1.5

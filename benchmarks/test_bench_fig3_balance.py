@@ -1,0 +1,82 @@
+"""§2.2 / Fig 3 — balancing congestion on chain-shared links.
+
+Paper numbers (links 5/12/10/3 Mb/s): EWTCP totals (11, 11, 8) Mb/s;
+COUPLED equalises every flow at 10 Mb/s and equalises loss rates.
+"""
+
+import pytest
+
+from repro import Simulation, Table, jain_index, make_flow, measure
+from repro.fluid import FluidFlow, FluidNetwork, solve_equilibrium
+from repro.net.network import mbps_to_pps, pps_to_mbps
+from repro.topology import build_chain
+
+from conftest import record
+
+LINK_MBPS = [5.0, 12.0, 10.0, 3.0]
+PAPER = {
+    "ewtcp": (11.0, 11.0, 8.0),
+    "coupled": (10.0, 10.0, 10.0),
+}
+
+
+def fluid_totals(algorithm: str):
+    net = FluidNetwork(
+        {f"L{i}": mbps_to_pps(c) for i, c in enumerate(LINK_MBPS)}
+    )
+    for i in range(3):
+        net.add_flow(FluidFlow(f"f{i}", [[f"L{i}"], [f"L{i + 1}"]], algorithm))
+    result = solve_equilibrium(net)
+    return [pps_to_mbps(result["flow_totals"][f"f{i}"]) for i in range(3)]
+
+
+def packet_totals(algorithm: str, seed: int = 31):
+    sim = Simulation(seed=seed)
+    sc = build_chain(sim, [mbps_to_pps(c) for c in LINK_MBPS], delay=0.05)
+    flows = {}
+    for i in range(3):
+        f = make_flow(sim, sc.routes(f"f{i}"), algorithm, name=f"f{i}")
+        f.start(at=0.1 * i)
+        flows[f"f{i}"] = f
+    m = measure(sim, flows, warmup=25.0, duration=80.0)
+    return [pps_to_mbps(m[f"f{i}"]) for i in range(3)]
+
+
+def run_experiment():
+    return {
+        algo: {"fluid": fluid_totals(algo), "packet": packet_totals(algo)}
+        for algo in ("ewtcp", "coupled", "mptcp")
+    }
+
+
+def test_fig3_chain_balance(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = Table(
+        ["algorithm", "flow", "paper Mb/s", "fluid Mb/s", "packet Mb/s"],
+        precision=1,
+    )
+    for algo, data in results.items():
+        for i in range(3):
+            paper = PAPER.get(algo, (None, None, None))[i]
+            table.add_row(
+                [algo, f"{'ABC'[i]}", paper, data["fluid"][i], data["packet"][i]]
+            )
+    record("fig3_balance", table.render(
+        "Fig 3 chain (links 5/12/10/3 Mb/s): per-flow totals"
+    ))
+
+    fluid_ewtcp = results["ewtcp"]["fluid"]
+    assert fluid_ewtcp == pytest.approx([11.0, 11.0, 8.0], rel=0.06)
+    fluid_coupled = results["coupled"]["fluid"]
+    assert fluid_coupled == pytest.approx([10.0, 10.0, 10.0], rel=0.1)
+    # Packet level: EWTCP's static split reproduces the paper's numbers
+    # almost exactly (its equilibrium is unique and stable).
+    assert results["ewtcp"]["packet"] == pytest.approx(
+        [11.0, 11.0, 8.0], rel=0.15
+    )
+    # COUPLED's packet-level split is *not* asserted against (10,10,10):
+    # with equal losses its per-flow split is indeterminate (§2.2) and at
+    # finite windows it wanders / traps (§2.4) — the fluid fixed point
+    # above carries the paper's claim; the packet run records what a real
+    # window-based COUPLED does with it.
+    assert sum(results["coupled"]["packet"]) > 20.0  # links still busy

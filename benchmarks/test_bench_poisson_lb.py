@@ -1,0 +1,74 @@
+"""§3 (second server experiment) — multipath under flow churn.
+
+Paper setup: dual-homed server; link 1 carries Poisson arrivals of TCP
+file transfers (rate alternating 10/s light and 60/s heavy, Pareto sizes,
+mean 200 kB); link 2 carries one long-lived TCP.  All three multipath
+algorithms run simultaneously across both links.  Paper averages: MPTCP
+61 Mb/s, COUPLED 54 Mb/s, EWTCP 47 Mb/s — in heavy load EWTCP moves too
+little traffic off the congested link; in light load COUPLED stays
+'trapped' off link 1 after bursts clear.
+"""
+
+from repro import Simulation, Table, make_flow, measure
+from repro.net.network import mbps_to_pps, pps_to_mbps
+from repro.topology import build_two_links
+from repro.traffic import ParetoSizes, PoissonFlowGenerator
+
+from conftest import record
+
+PAPER = {"mptcp": 61.0, "coupled": 54.0, "ewtcp": 47.0}
+
+
+def run_experiment(seed: int = 71):
+    sim = Simulation(seed=seed)
+    rate = mbps_to_pps(100)
+    sc = build_two_links(
+        sim, rate, rate, delay1=0.010, delay2=0.010,
+        buffer1_pkts=100, buffer2_pkts=100,
+    )
+    generator = PoissonFlowGenerator(
+        sim,
+        route_factory=lambda i: sc.net.route(["s1", "d1"], name=f"pf{i}"),
+        light_rate=10.0,
+        heavy_rate=60.0,
+        period=10.0,
+        sizes=ParetoSizes(mean_bytes=200_000.0),
+    )
+    long_lived = make_flow(
+        sim, [sc.net.route(["s2", "d2"], name="ll")], "reno", name="ll"
+    )
+    multis = {}
+    for algo in ("mptcp", "coupled", "ewtcp"):
+        multis[algo] = make_flow(
+            sim,
+            [sc.net.route(["s1", "d1"], name=f"{algo}.1"),
+             sc.net.route(["s2", "d2"], name=f"{algo}.2")],
+            algo,
+            name=algo,
+        )
+    generator.start()
+    long_lived.start()
+    for i, flow in enumerate(multis.values()):
+        flow.start(at=0.2 * i)
+    flows = dict(multis)
+    flows["ll"] = long_lived
+    m = measure(sim, flows, warmup=20.0, duration=80.0)
+    return {algo: pps_to_mbps(m[algo]) for algo in multis}, generator.completions
+
+
+def test_poisson_load_balancing(benchmark):
+    rates, completions = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = Table(["algorithm", "paper Mb/s", "measured Mb/s"])
+    for algo in ("mptcp", "coupled", "ewtcp"):
+        table.add_row([algo, PAPER[algo], rates[algo]])
+    record("poisson_lb", table.render(
+        f"§3 Poisson churn experiment ({completions} transfers completed)"
+    ))
+
+    assert completions > 1000
+    # The paper's ordering: MPTCP best, EWTCP worst.
+    assert rates["mptcp"] > rates["ewtcp"]
+    assert rates["mptcp"] > 0.9 * rates["coupled"]
+    # All three share two 100 Mb/s links with churning traffic: sane range.
+    for rate in rates.values():
+        assert 10.0 < rate < 100.0

@@ -1,0 +1,76 @@
+"""§2.4 — SEMICOUPLED's traffic split across unequal paths.
+
+Paper claim: with three paths at (1 %, 1 %, 5 %) loss, SEMICOUPLED puts
+45 %/45 %/10 % of its weight on them — between EWTCP (33 % each) and
+COUPLED (50/50/0).  We verify the closed form exactly and the packet-level
+split approximately.
+"""
+
+import pytest
+
+from repro import Simulation, Table, make_flow, measure
+from repro.fluid import semicoupled_weights
+
+from tests_path import lossy_route
+
+from conftest import record
+
+LOSSES = [0.01, 0.01, 0.05]
+PAPER_WEIGHTS = [0.45, 0.45, 0.10]
+
+# The SEMICOUPLED weight split depends only on the *ratios* of the loss
+# rates (w_r ∝ 1/p_r, normalised).  At the paper's absolute rates the
+# equilibrium windows are a handful of packets, where retransmission
+# timeouts — not the §2 balance dynamics — dominate, so the packet-level
+# runs use 10x smaller losses with the same 1:1:5 ratio (small enough to
+# stay out of the timeout regime, large enough that the measurement
+# window sees hundreds of loss events and the split is stable).
+PACKET_LOSSES = [p / 10.0 for p in LOSSES]
+
+
+def packet_weights(algorithm: str, seed: int = 51):
+    sim = Simulation(seed=seed)
+    routes = [
+        lossy_route(sim, p, rtt=0.1, name=f"p{i}")
+        for i, p in enumerate(PACKET_LOSSES)
+    ]
+    flow = make_flow(sim, routes, algorithm, name="f")
+    flow.start()
+    m = measure(sim, {"f": flow}, warmup=30.0, duration=240.0)
+    rates = m.subflow_rates["f"]
+    total = sum(rates)
+    return [r / total for r in rates]
+
+
+def run_experiment():
+    return {
+        "formula": semicoupled_weights(LOSSES),
+        "semicoupled": packet_weights("semicoupled"),
+        "ewtcp": packet_weights("ewtcp"),
+        "coupled": packet_weights("coupled"),
+    }
+
+
+def test_semicoupled_weight_split(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = Table(
+        ["scheme", "path1 (1%)", "path2 (1%)", "path3 (5%)"], precision=3
+    )
+    table.add_row(["paper"] + PAPER_WEIGHTS)
+    for key in ("formula", "semicoupled", "ewtcp", "coupled"):
+        table.add_row([key] + list(results[key]))
+    record("semicoupled_split", table.render(
+        "§2.4 weight split at losses (1%, 1%, 5%)"
+    ))
+
+    formula = results["formula"]
+    assert formula == pytest.approx([0.4545, 0.4545, 0.0909], abs=1e-3)
+    sim_split = results["semicoupled"]
+    # Packet level: clearly biased away from the lossy path, but keeps
+    # non-trivial probe traffic on it (unlike COUPLED).
+    assert sim_split[2] < 0.2
+    assert sim_split[2] > results["coupled"][2]
+    assert abs(sim_split[0] - sim_split[1]) < 0.15
+    # EWTCP splits by per-path TCP fairness (insensitive to coupling):
+    # the lossy path keeps a much larger share than under SEMICOUPLED.
+    assert results["ewtcp"][2] > sim_split[2]

@@ -1,0 +1,56 @@
+"""§5 static wireless experiment, single flow.
+
+Paper (laptop with WiFi + 3G, no competing traffic): single-path TCP gets
+14.4 Mb/s on WiFi and 2.1 Mb/s on 3G; MPTCP over both gets 17.3 Mb/s —
+"roughly equal to the sum of the bandwidths of the access links", the §2.5
+"trying too hard to be fair?" discussion made concrete.
+"""
+
+from repro import Simulation, Table, make_flow, measure
+from repro.core.registry import make_controller
+from repro.mptcp.connection import MptcpFlow
+from repro.net.network import pps_to_mbps
+from repro.tcp.sender import TcpFlow
+from repro.topology import build_3g_path, build_wifi_path
+
+from conftest import record
+
+PAPER = {"tcp_wifi": 14.4, "tcp_3g": 2.1, "mptcp": 17.3}
+
+
+def run_case(case: str, seed: int = 111) -> float:
+    sim = Simulation(seed=seed)
+    wifi = build_wifi_path(sim, loss_prob=0.003)
+    threeg = build_3g_path(sim)
+    if case == "tcp_wifi":
+        flow = TcpFlow(sim, wifi.route(), make_controller("reno"), name="f")
+    elif case == "tcp_3g":
+        flow = TcpFlow(sim, threeg.route(), make_controller("reno"), name="f")
+    else:
+        flow = MptcpFlow(
+            sim, [wifi.route("m.wifi"), threeg.route("m.3g")],
+            make_controller(case), name="f",
+        )
+    flow.start()
+    m = measure(sim, {"f": flow}, warmup=20.0, duration=60.0)
+    return pps_to_mbps(m["f"])
+
+
+def run_experiment():
+    return {c: run_case(c) for c in ("tcp_wifi", "tcp_3g", "mptcp")}
+
+
+def test_wireless_static_single_flow(benchmark):
+    rates = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = Table(["flow", "paper Mb/s", "measured Mb/s"])
+    for case in ("tcp_wifi", "tcp_3g", "mptcp"):
+        table.add_row([case, PAPER[case], rates[case]])
+    record("wireless_static", table.render(
+        "§5 static experiment: idle WiFi (14.4 Mb/s) + 3G (2.1 Mb/s)"
+    ))
+
+    assert rates["tcp_wifi"] > 10.0
+    assert 1.5 < rates["tcp_3g"] < 2.2
+    # The headline: MPTCP ~ sum of the access links.
+    assert rates["mptcp"] > 0.85 * (rates["tcp_wifi"] + rates["tcp_3g"])
+    assert rates["mptcp"] > rates["tcp_wifi"]

@@ -1,0 +1,38 @@
+"""Path-building helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+from repro.net.pipe import LossyPipe
+from repro.net.queue import DropTailQueue
+from repro.net.route import Route
+from repro.sim.simulation import Simulation
+
+
+def lossy_route(
+    sim: Simulation,
+    loss_prob: float,
+    rtt: float = 0.1,
+    name: str = "lossy",
+    rate_pps: float = 2e4,
+) -> Route:
+    """A fixed-loss, congestion-free route (validates balance formulas).
+
+    Finite service rate so a loss-free flow cannot grow without bound."""
+    queue = DropTailQueue(
+        sim, rate_pps=rate_pps, capacity=10**6, name=f"{name}.q", jitter=0.0
+    )
+    pipe = LossyPipe(sim, delay=rtt / 2.0, loss_prob=loss_prob, name=f"{name}.p")
+    return Route(sim, [queue, pipe], reverse_delay=rtt / 2.0, name=name)
+
+
+def bottleneck_route(
+    sim: Simulation,
+    rate_pps: float,
+    rtt: float = 0.1,
+    buffer_pkts: int = 100,
+    name: str = "bneck",
+):
+    """A single drop-tail bottleneck route; returns (route, queue)."""
+    queue = DropTailQueue(sim, rate_pps, buffer_pkts, name=f"{name}.q")
+    pipe = LossyPipe(sim, delay=rtt / 2.0, loss_prob=0.0, name=f"{name}.p")
+    return Route(sim, [queue, pipe], reverse_delay=rtt / 2.0, name=name), queue

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Data center (§4): multipath TCP vs ECMP single-path in a FatTree.
+
+Builds a k=4 FatTree (16 hosts), runs a random-permutation traffic matrix
+(TP1) under single-path TCP (one random shortest path per flow — the
+paper's ECMP mimic) and under MPTCP with 4 paths per flow, and compares
+utilisation and fairness.
+
+Run:  python examples/datacenter_fattree.py
+"""
+
+from repro import Simulation, jain_index
+from repro.harness.datacenter import run_matrix
+from repro.topology import FatTree
+from repro.traffic import permutation_matrix
+
+LINK_RATE = 2083.0  # 25 Mb/s links, keeps the demo quick
+
+
+def run(algorithm: str, paths: int) -> None:
+    sim = Simulation(seed=3)
+    ft = FatTree.build(sim, k=4, rate_pps=LINK_RATE, buffer_pkts=100)
+    pairs = permutation_matrix(ft.hosts, sim.rng)
+    result = run_matrix(
+        sim, ft.net, pairs, algorithm,
+        path_count=paths, warmup=3.0, duration=5.0,
+        host_link_rate=LINK_RATE,
+    )
+    rates = result.sorted_rates()
+    print(f"{algorithm:>8s} ({paths} path{'s' if paths > 1 else ''}): "
+          f"mean {100 * result.mean_utilisation():5.1f}% of NIC,  "
+          f"worst flow {100 * rates[0] / LINK_RATE:5.1f}%,  "
+          f"Jain {jain_index(rates):.3f}")
+
+
+def main() -> None:
+    print(f"FatTree k=4, 16 hosts, random permutation (TP1), "
+          f"links {LINK_RATE:.0f} pkt/s\n")
+    run("single", 1)
+    run("ewtcp", 4)
+    run("mptcp", 4)
+    print()
+    print("Single-path flows that hashed onto a congested core link are")
+    print("stuck with it; multipath flows find the spare capacity, lifting")
+    print("both mean utilisation and the worst flow (the paper's §4 story).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: a two-path MPTCP flow vs a single-path TCP.
+
+Builds two independent bottleneck links, runs a single-path TCP over link
+1 and an MPTCP connection (the paper's coupled algorithm) over both links,
+and prints the goodput each achieves.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Simulation, Network, make_flow, measure, pps_to_mbps
+
+
+def main() -> None:
+    sim = Simulation(seed=1)
+    net = Network(sim)
+
+    # Two 12 Mb/s links (1000 pkt/s of 1500-byte packets), 50 ms one-way
+    # delay, buffers of one bandwidth-delay product.
+    net.add_link("client", "server", rate_pps=1000, delay=0.05, buffer_pkts=100)
+    net.add_link("client2", "server2", rate_pps=1000, delay=0.05, buffer_pkts=100)
+
+    tcp = make_flow(
+        sim, [net.route(["client", "server"])], "reno", name="single-path"
+    )
+    mptcp = make_flow(
+        sim,
+        [net.route(["client", "server"]), net.route(["client2", "server2"])],
+        "mptcp",
+        name="multipath",
+    )
+    tcp.start()
+    mptcp.start(at=0.1)
+
+    # Warm up 20 s, measure 60 s.
+    result = measure(
+        sim, {"tcp": tcp, "mptcp": mptcp}, warmup=20.0, duration=60.0
+    )
+
+    print("Two 12 Mb/s links, single-path TCP shares link 1 with MPTCP:")
+    print(f"  single-path TCP : {result['tcp']:7.1f} pkt/s "
+          f"({pps_to_mbps(result['tcp']):.1f} Mb/s)")
+    print(f"  MPTCP (2 paths) : {result['mptcp']:7.1f} pkt/s "
+          f"({pps_to_mbps(result['mptcp']):.1f} Mb/s)")
+    split = result.subflow_rates["mptcp"]
+    print(f"  MPTCP per-path  : {split[0]:.1f} / {split[1]:.1f} pkt/s")
+    print()
+    print("MPTCP fills the idle link 2 and, being coupled, leans away from")
+    print("the link it shares with the TCP flow (taking less than half of")
+    print("it) — yet its total comfortably beats the best single path.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""repro — reproduction of "Design, implementation and evaluation of
+congestion control for multipath TCP" (Wischik et al., NSDI 2011).
+
+Public API highlights
+---------------------
+* :mod:`repro.core` — the coupled congestion control algorithms
+  (``MptcpController`` and the EWTCP/COUPLED/SEMICOUPLED baselines).
+* :mod:`repro.mptcp` — the multipath connection layer (subflows, data
+  sequence numbers, explicit data ACKs, shared receive buffer).
+* :mod:`repro.sim` / :mod:`repro.net` / :mod:`repro.tcp` — the packet-level
+  discrete-event simulator the evaluation runs on.
+* :mod:`repro.topology`, :mod:`repro.traffic` — the paper's scenarios.
+* :mod:`repro.fluid` — closed-form equilibrium models for cross-checking.
+"""
+
+from .core import (
+    CongestionController,
+    CoupledController,
+    EwtcpController,
+    LinkedIncreasesController,
+    MptcpController,
+    RenoController,
+    SemicoupledController,
+    UncoupledController,
+    make_controller,
+)
+from .harness import Table, make_flow, measure
+from .metrics import jain_index
+from .mptcp import MptcpFlow
+from .net import Network, Route, mbps_to_pps, pps_to_mbps
+from .sim import Simulation
+from .tcp import TcpFlow, TcpReceiver, TcpSender
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CongestionController",
+    "CoupledController",
+    "EwtcpController",
+    "LinkedIncreasesController",
+    "MptcpController",
+    "MptcpFlow",
+    "Network",
+    "RenoController",
+    "Route",
+    "SemicoupledController",
+    "Simulation",
+    "Table",
+    "TcpFlow",
+    "TcpReceiver",
+    "TcpSender",
+    "UncoupledController",
+    "jain_index",
+    "make_controller",
+    "make_flow",
+    "mbps_to_pps",
+    "measure",
+    "pps_to_mbps",
+    "__version__",
+]

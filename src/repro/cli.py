@@ -1,0 +1,220 @@
+"""Command-line experiment runner: ``python -m repro <command>``.
+
+Gives downstream users one-line access to the paper's scenarios without
+writing harness code:
+
+    python -m repro algorithms
+    python -m repro bottleneck --algo mptcp --competitors 6
+    python -m repro twolinks --algo coupled --rate1 500 --rate2 1000
+    python -m repro wireless --algo mptcp --duration 60
+    python -m repro torus --capacity-c 250 --algo mptcp
+    python -m repro fattree --k 4 --algo mptcp --paths 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.registry import ALGORITHMS
+from .harness.datacenter import run_matrix
+from .harness.experiment import make_flow, measure
+from .harness.table import Table
+from .metrics import jain_index
+from .net.network import pps_to_mbps
+from .sim.simulation import Simulation
+from .topology import (
+    FatTree,
+    build_shared_bottleneck,
+    build_torus,
+    build_two_links,
+    build_3g_path,
+    build_wifi_path,
+)
+from .traffic import permutation_matrix
+
+__all__ = ["main"]
+
+
+def _cmd_algorithms(_args) -> int:
+    table = Table(["name", "controller"])
+    for name in sorted(ALGORITHMS):
+        table.add_row([name, ALGORITHMS[name]().__class__.__name__])
+    print(table.render("Available congestion control algorithms"))
+    return 0
+
+
+def _cmd_bottleneck(args) -> int:
+    sim = Simulation(seed=args.seed)
+    sc = build_shared_bottleneck(
+        sim, rate_pps=args.rate, delay=args.delay, buffer_pkts=args.buffer
+    )
+    flows = {}
+    for i in range(args.competitors):
+        f = make_flow(sim, [sc.net.route(["src", "dst"], name=f"s{i}")],
+                      "reno", name=f"s{i}")
+        f.start(at=0.05 * i)
+        flows[f"s{i}"] = f
+    multi = make_flow(sim, sc.routes("multi"), args.algo, name="multi")
+    multi.start(at=0.4)
+    flows["multi"] = multi
+    m = measure(sim, flows, warmup=args.warmup, duration=args.duration)
+    singles = sum(m[f"s{i}"] for i in range(args.competitors)) / args.competitors
+    table = Table(["flow", "rate pkt/s"])
+    table.add_row(["single-path mean", singles])
+    table.add_row([f"{args.algo} (2 subflows)", m["multi"]])
+    table.add_row(["ratio", m["multi"] / singles])
+    print(table.render(f"Shared bottleneck ({args.rate:.0f} pkt/s, "
+                       f"{args.competitors} competing TCPs)"))
+    return 0
+
+
+def _cmd_twolinks(args) -> int:
+    sim = Simulation(seed=args.seed)
+    sc = build_two_links(
+        sim, args.rate1, args.rate2,
+        delay1=args.delay, delay2=args.delay,
+        buffer1_pkts=args.buffer, buffer2_pkts=args.buffer,
+    )
+    multi = make_flow(sim, sc.routes("multi"), args.algo, name="m")
+    multi.start()
+    m = measure(sim, {"m": multi}, warmup=args.warmup, duration=args.duration)
+    r1, r2 = m.subflow_rates["m"]
+    table = Table(["quantity", "pkt/s"])
+    table.add_row(["total", m["m"]])
+    table.add_row(["path 1", r1])
+    table.add_row(["path 2", r2])
+    print(table.render(f"{args.algo} over two links "
+                       f"({args.rate1:.0f} + {args.rate2:.0f} pkt/s)"))
+    return 0
+
+
+def _cmd_wireless(args) -> int:
+    sim = Simulation(seed=args.seed)
+    wifi = build_wifi_path(sim)
+    threeg = build_3g_path(sim)
+    flow = make_flow(
+        sim, [wifi.route("m.wifi"), threeg.route("m.3g")], args.algo, name="m"
+    )
+    flow.start()
+    m = measure(sim, {"m": flow}, warmup=args.warmup, duration=args.duration)
+    wifi_rate, threeg_rate = m.subflow_rates["m"]
+    table = Table(["quantity", "Mb/s"])
+    table.add_row(["total", pps_to_mbps(m["m"])])
+    table.add_row(["WiFi path (14.4 Mb/s)", pps_to_mbps(wifi_rate)])
+    table.add_row(["3G path (2.1 Mb/s)", pps_to_mbps(threeg_rate)])
+    print(table.render(f"{args.algo} wireless client (§5 static scenario)"))
+    return 0
+
+
+def _cmd_torus(args) -> int:
+    sim = Simulation(seed=args.seed)
+    rates = [args.rate] * 5
+    rates[2] = args.capacity_c
+    sc = build_torus(sim, rates, delay=args.delay)
+    flows = {}
+    for i in range(5):
+        f = make_flow(sim, sc.routes(f"f{i}"), args.algo, name=f"f{i}")
+        f.start(at=0.1 * i)
+        flows[f"f{i}"] = f
+    sim.run_until(args.warmup)
+    queues = [sc.net.link(f"in{i}", f"out{i}").queue for i in range(5)]
+    for q in queues:
+        q.reset_counters()
+    m = measure(sim, flows, warmup=args.warmup, duration=args.duration)
+    table = Table(["link", "capacity", "loss rate", "flow", "total pkt/s"],
+                  precision=4)
+    for i in range(5):
+        table.add_row([
+            "ABCDE"[i], rates[i], queues[i].loss_rate, f"f{i}", m[f"f{i}"]
+        ])
+    totals = [m[f"f{i}"] for i in range(5)]
+    print(table.render(f"Torus (Fig 7) with {args.algo}; "
+                       f"Jain index {jain_index(totals):.3f}"))
+    return 0
+
+
+def _cmd_fattree(args) -> int:
+    sim = Simulation(seed=args.seed)
+    ft = FatTree.build(sim, k=args.k, rate_pps=args.rate, buffer_pkts=args.buffer)
+    pairs = permutation_matrix(ft.hosts, sim.rng)
+    run = run_matrix(
+        sim, ft.net, pairs, args.algo,
+        path_count=args.paths, warmup=args.warmup, duration=args.duration,
+        host_link_rate=args.rate,
+    )
+    rates = run.sorted_rates()
+    table = Table(["quantity", "value"])
+    table.add_row(["hosts", ft.num_hosts])
+    table.add_row(["mean throughput (% NIC)", 100 * run.mean_utilisation()])
+    table.add_row(["worst flow (% NIC)", 100 * rates[0] / args.rate])
+    table.add_row(["Jain index", jain_index(rates)])
+    print(table.render(f"FatTree k={args.k}, TP1, {args.algo} "
+                       f"({args.paths} paths)"))
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multipath TCP congestion control experiments "
+                    "(Wischik et al., NSDI 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, algo_default="mptcp"):
+        p.add_argument("--algo", default=algo_default, choices=sorted(ALGORITHMS))
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--warmup", type=float, default=20.0)
+        p.add_argument("--duration", type=float, default=60.0)
+
+    sub.add_parser("algorithms", help="list available algorithms").set_defaults(
+        func=_cmd_algorithms
+    )
+
+    p = sub.add_parser("bottleneck", help="Fig 1 shared-bottleneck fairness")
+    common(p)
+    p.add_argument("--rate", type=float, default=2000.0)
+    p.add_argument("--delay", type=float, default=0.05)
+    p.add_argument("--buffer", type=int, default=200)
+    p.add_argument("--competitors", type=int, default=6)
+    p.set_defaults(func=_cmd_bottleneck)
+
+    p = sub.add_parser("twolinks", help="two-path flow over two links")
+    common(p)
+    p.add_argument("--rate1", type=float, default=500.0)
+    p.add_argument("--rate2", type=float, default=500.0)
+    p.add_argument("--delay", type=float, default=0.05)
+    p.add_argument("--buffer", type=int, default=50)
+    p.set_defaults(func=_cmd_twolinks)
+
+    p = sub.add_parser("wireless", help="§5 WiFi+3G client")
+    common(p)
+    p.set_defaults(func=_cmd_wireless)
+
+    p = sub.add_parser("torus", help="Fig 7/8 congestion balancing")
+    common(p)
+    p.add_argument("--rate", type=float, default=1000.0)
+    p.add_argument("--capacity-c", type=float, default=250.0)
+    p.add_argument("--delay", type=float, default=0.05)
+    p.set_defaults(func=_cmd_torus)
+
+    p = sub.add_parser("fattree", help="§4 FatTree TP1")
+    common(p)
+    p.add_argument("--k", type=int, default=4)
+    p.add_argument("--rate", type=float, default=1042.0)
+    p.add_argument("--buffer", type=int, default=100)
+    p.add_argument("--paths", type=int, default=4)
+    p.set_defaults(func=_cmd_fattree)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

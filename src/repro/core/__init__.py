@@ -1,0 +1,35 @@
+"""Coupled congestion control algorithms — the paper's core contribution."""
+
+from .alpha import (
+    mptcp_increase,
+    mptcp_increase_bruteforce,
+    rfc6356_alpha,
+    rfc6356_increase,
+)
+from .base import CongestionController, WindowedSubflow
+from .coupled import CoupledController
+from .cubic import CubicController
+from .ewtcp import EwtcpController
+from .mptcp_lia import LinkedIncreasesController, MptcpController
+from .registry import ALGORITHMS, make_controller
+from .semicoupled import SemicoupledController
+from .uncoupled import RenoController, UncoupledController
+
+__all__ = [
+    "ALGORITHMS",
+    "CongestionController",
+    "CoupledController",
+    "CubicController",
+    "EwtcpController",
+    "LinkedIncreasesController",
+    "MptcpController",
+    "RenoController",
+    "SemicoupledController",
+    "UncoupledController",
+    "WindowedSubflow",
+    "make_controller",
+    "mptcp_increase",
+    "mptcp_increase_bruteforce",
+    "rfc6356_alpha",
+    "rfc6356_increase",
+]

@@ -1,0 +1,98 @@
+"""Congestion controller interface.
+
+The paper's contribution is a family of *coupled* window adaptation rules:
+the windows of all subflows of one connection are adjusted jointly.  We
+factor that into a :class:`CongestionController` object owned by the
+connection and shared by its subflows.  A plain single-path TCP is simply a
+controller with one subflow.
+
+The sender (``repro.tcp.sender.TcpSender``) implements the loss-recovery
+machinery (slow start, fast retransmit/recovery, RTO) which is common to all
+algorithms; the controller implements only the §2 adaptation rules:
+
+* ``on_ack(subflow)``    — congestion-avoidance window increase, called once
+  per newly acknowledged packet (outside slow start and fast recovery).
+* ``on_loss(subflow)``   — multiplicative decrease, called once per loss
+  event (the third duplicate ACK).
+* ``on_timeout(subflow)``— retransmission timeout accounting.
+
+Subflows expose ``cwnd`` (float, packets), ``srtt`` (smoothed RTT in seconds
+or None before the first sample) and ``min_cwnd``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Protocol, runtime_checkable
+
+__all__ = ["CongestionController", "WindowedSubflow"]
+
+
+@runtime_checkable
+class WindowedSubflow(Protocol):
+    """What a controller needs to know about a subflow."""
+
+    cwnd: float
+    min_cwnd: float
+
+    @property
+    def srtt(self) -> Optional[float]:  # pragma: no cover - protocol stub
+        ...
+
+
+class CongestionController(ABC):
+    """Base class for the §2 window adaptation algorithms.
+
+    Controllers mutate ``subflow.cwnd`` directly; the common floor is
+    ``subflow.min_cwnd`` (1 packet by default — the paper keeps windows
+    >= 1 packet so every path retains some probe traffic, §2.4).
+    """
+
+    #: Human-readable algorithm name (overridden by subclasses).
+    name = "base"
+
+    def __init__(self) -> None:
+        self.subflows: List[WindowedSubflow] = []
+
+    # ------------------------------------------------------------------
+    def add_subflow(self, subflow: WindowedSubflow) -> None:
+        """Register a subflow; called by the connection when it attaches."""
+        if subflow in self.subflows:
+            raise ValueError("subflow registered twice")
+        self.subflows.append(subflow)
+
+    def remove_subflow(self, subflow: WindowedSubflow) -> None:
+        self.subflows.remove(subflow)
+
+    @property
+    def num_subflows(self) -> int:
+        return len(self.subflows)
+
+    @property
+    def total_window(self) -> float:
+        """w_total: the sum of all subflow windows."""
+        return sum(s.cwnd for s in self.subflows)
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def on_ack(self, subflow: WindowedSubflow) -> None:
+        """Apply the congestion-avoidance increase for one acked packet."""
+
+    @abstractmethod
+    def on_loss(self, subflow: WindowedSubflow) -> None:
+        """Apply the multiplicative decrease for one loss event."""
+
+    def on_timeout(self, subflow: WindowedSubflow) -> None:
+        """RTO accounting hook.  The sender itself collapses the window to
+        one packet and re-enters slow start; controllers may override to
+        adjust shared state."""
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _halve(subflow: WindowedSubflow) -> None:
+        """The regular-TCP decrease: w -= w/2, floored at min_cwnd."""
+        subflow.cwnd = max(subflow.min_cwnd, subflow.cwnd / 2.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        windows = ", ".join(f"{s.cwnd:.1f}" for s in self.subflows)
+        return f"{type(self).__name__}([{windows}])"

@@ -1,0 +1,34 @@
+"""COUPLED: fully coupled windows that concentrate on the least-congested
+path (§2.2, from Kelly & Voice and Han et al.).
+
+ALGORITHM: COUPLED
+    * For each ACK on path r, increase window w_r by 1/w_total.
+    * For each loss on path r, decrease window w_r by w_total/2.
+    * w_r is bounded below (>= 1 packet in the experiments, §2.4), so every
+      path keeps a trickle of probe traffic.
+
+In equilibrium w_total ≈ sqrt(2/p): the connection as a whole is exactly as
+aggressive as one regular TCP regardless of path count, and any path whose
+loss rate exceeds the minimum is driven to the floor — all traffic moves to
+the least-congested path.  §2.4 shows the resulting "trapping" pathology
+under dynamic load, which motivates SEMICOUPLED and the final MPTCP rule.
+"""
+
+from __future__ import annotations
+
+from .base import CongestionController, WindowedSubflow
+
+__all__ = ["CoupledController"]
+
+
+class CoupledController(CongestionController):
+    """The fully-coupled rule of §2.2."""
+
+    name = "coupled"
+
+    def on_ack(self, subflow: WindowedSubflow) -> None:
+        subflow.cwnd += 1.0 / self.total_window
+
+    def on_loss(self, subflow: WindowedSubflow) -> None:
+        decrease = self.total_window / 2.0
+        subflow.cwnd = max(subflow.min_cwnd, subflow.cwnd - decrease)

@@ -1,0 +1,96 @@
+"""CUBIC TCP (Ha, Rhee, Xu) — the §8 extension.
+
+§8: "existing TCP has well-known limitations when coping with long
+high-speed paths ... recent Linux kernels use Cubic TCP"; the paper leaves
+combining its multipath coupling with such high-speed variants as future
+work.  This module provides a faithful single-path CUBIC controller so the
+repository covers that direction: it can drive any subflow (coupling
+CUBIC's aggressiveness across subflows remains an open design question,
+exactly as the paper notes).
+
+CUBIC replaces AIMD's linear probe with a cubic function of the time since
+the last loss event:
+
+    W(t) = C·(t - K)³ + W_max,     K = ((W_max·(1-β)) / C)^(1/3)
+
+so the window approaches the previous maximum quickly, plateaus near it,
+then probes beyond.  A TCP-friendly bound keeps it no less aggressive than
+Reno at short RTTs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import CongestionController, WindowedSubflow
+
+__all__ = ["CubicController"]
+
+
+class CubicController(CongestionController):
+    """Single-path CUBIC window growth (per-subflow, uncoupled)."""
+
+    name = "cubic"
+
+    #: scaling constant (windows in packets, time in seconds) — Linux value
+    C = 0.4
+    #: multiplicative decrease: cwnd -> BETA * cwnd on loss — Linux value
+    BETA = 0.7
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._state: Dict[int, dict] = {}
+
+    def _subflow_state(self, subflow: WindowedSubflow) -> dict:
+        state = self._state.get(id(subflow))
+        if state is None:
+            state = {
+                "w_max": subflow.cwnd,
+                "epoch_start": None,
+                "k": 0.0,
+                "acks_in_epoch": 0,
+            }
+            self._state[id(subflow)] = state
+        return state
+
+    def on_ack(self, subflow: WindowedSubflow) -> None:
+        state = self._subflow_state(subflow)
+        now = subflow.sim.now
+        if state["epoch_start"] is None:
+            state["epoch_start"] = now
+            state["acks_in_epoch"] = 0
+            if subflow.cwnd < state["w_max"]:
+                state["k"] = (
+                    (state["w_max"] * (1.0 - self.BETA)) / self.C
+                ) ** (1.0 / 3.0)
+            else:
+                state["k"] = 0.0
+                state["w_max"] = subflow.cwnd
+        state["acks_in_epoch"] += 1
+        t = now - state["epoch_start"]
+        target = self.C * (t - state["k"]) ** 3 + state["w_max"]
+
+        # TCP-friendly region: Reno would have grown by one packet per RTT
+        # since the epoch started, from the post-decrease window.
+        srtt = subflow.srtt or 0.1
+        friendly = state["w_max"] * self.BETA + (
+            3.0 * (1.0 - self.BETA) / (1.0 + self.BETA)
+        ) * (t / srtt)
+        target = max(target, friendly)
+
+        if target > subflow.cwnd:
+            # Spread the climb to the target over roughly one RTT of ACKs.
+            subflow.cwnd += (target - subflow.cwnd) / subflow.cwnd
+        else:
+            subflow.cwnd += 0.01 / subflow.cwnd  # minimal probing
+
+    def on_loss(self, subflow: WindowedSubflow) -> None:
+        state = self._subflow_state(subflow)
+        state["w_max"] = subflow.cwnd
+        state["epoch_start"] = None
+        subflow.cwnd = max(subflow.min_cwnd, subflow.cwnd * self.BETA)
+
+    def on_timeout(self, subflow: WindowedSubflow) -> None:
+        state = self._subflow_state(subflow)
+        state["w_max"] = max(subflow.cwnd, subflow.min_cwnd)
+        state["epoch_start"] = None

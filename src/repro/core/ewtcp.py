@@ -1,0 +1,55 @@
+"""EWTCP: equally-weighted TCP on each subflow (§2.1, from Honda et al.).
+
+ALGORITHM: EWTCP
+    * For each ACK on path r, increase window w_r by a/w_r.
+    * For each loss on path r, decrease window w_r by w_r/2.
+
+The intent (and every quantitative EWTCP claim in the paper) is that each of
+the n subflows behaves like a TCP scaled down by 1/n, so that n subflows
+through one bottleneck take exactly one TCP's share and §2.3's two-path
+example yields half of each path's TCP throughput.
+
+AIMD balance gives an equilibrium window of sqrt(2a/p), i.e. proportional to
+sqrt(a), so the scaling that delivers a per-subflow window of w_TCP/n is
+**a = 1/n²**, which is our default.  (The paper's text says a = 1/sqrt(n)
+and claims a window proportional to a²; those two statements are mutually
+inconsistent with the stated increase rule — see DESIGN.md "EWTCP erratum".
+``a_literal_paper=True`` selects the literal 1/sqrt(n).)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import CongestionController, WindowedSubflow
+
+__all__ = ["EwtcpController"]
+
+
+class EwtcpController(CongestionController):
+    """Weighted AIMD(a, 1/2) per subflow, uncoupled dynamics."""
+
+    name = "ewtcp"
+
+    def __init__(self, a: Optional[float] = None, a_literal_paper: bool = False):
+        super().__init__()
+        if a is not None and a <= 0:
+            raise ValueError(f"weight a must be positive, got {a!r}")
+        self._fixed_a = a
+        self._literal = a_literal_paper
+
+    @property
+    def a(self) -> float:
+        """The per-subflow aggressiveness weight."""
+        if self._fixed_a is not None:
+            return self._fixed_a
+        n = max(1, self.num_subflows)
+        if self._literal:
+            return n ** -0.5
+        return 1.0 / (n * n)
+
+    def on_ack(self, subflow: WindowedSubflow) -> None:
+        subflow.cwnd += self.a / subflow.cwnd
+
+    def on_loss(self, subflow: WindowedSubflow) -> None:
+        self._halve(subflow)

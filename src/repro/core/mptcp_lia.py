@@ -1,0 +1,136 @@
+"""MPTCP: the paper's final coupled congestion control algorithm (§2).
+
+ALGORITHM: MPTCP
+    * Each ACK on subflow r, increase w_r by
+
+          min over S ⊆ R with r ∈ S of
+              max_{s∈S}(w_s/RTT_s²) / (Σ_{s∈S} w_s/RTT_s)²
+
+    * Each loss on subflow r, decrease w_r by w_r/2.
+
+Taking S = {r} shows the increase never exceeds 1/w_r (regular TCP), which
+enforces fairness constraint (4); the appendix proves the full rule meets
+both fairness goals of §2.5.  The min over subsets is computed with the
+appendix's linear search (:func:`repro.core.alpha.mptcp_increase`).
+
+Like the authors' implementation ("we compute the increase parameter only
+when the congestion windows grow to accommodate one more packet"), the
+increase can be cached and recomputed once per window's worth of ACKs
+(``recompute='per_window'``); the default recomputes on every ACK, which is
+affordable at simulation scale and slightly more faithful to eq. (1).
+
+:class:`LinkedIncreasesController` is the RFC 6356 formulation — increase
+min(a/w_total, 1/w_r) with the cached aggressiveness parameter ``a`` of
+eq. (5) — provided as the deployed variant of the same design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .alpha import mptcp_increase, rfc6356_alpha
+from .base import CongestionController, WindowedSubflow
+
+__all__ = ["MptcpController", "LinkedIncreasesController"]
+
+#: RTT assumed for a subflow before its first RTT sample.  Subflows without
+#: a sample are still in initial slow start, so this value only matters for
+#: the first few congestion-avoidance increases.
+_DEFAULT_RTT = 0.1
+
+
+class MptcpController(CongestionController):
+    """The paper's MPTCP rule, eq. (1)."""
+
+    name = "mptcp"
+
+    def __init__(self, recompute: str = "per_ack"):
+        super().__init__()
+        if recompute not in ("per_ack", "per_window"):
+            raise ValueError(f"unknown recompute policy {recompute!r}")
+        self.recompute = recompute
+        self._cached: Dict[int, float] = {}
+        self._acks_since_recompute = 0
+
+    # ------------------------------------------------------------------
+    def _windows_and_rtts(self) -> Tuple[List[float], List[float]]:
+        windows = [s.cwnd for s in self.subflows]
+        rtts = [s.srtt if s.srtt else _DEFAULT_RTT for s in self.subflows]
+        return windows, rtts
+
+    def increase_for(self, subflow: WindowedSubflow) -> float:
+        """The eq. (1) per-ACK increase for ``subflow`` at current state."""
+        index = self.subflows.index(subflow)
+        windows, rtts = self._windows_and_rtts()
+        return mptcp_increase(windows, rtts, index)
+
+    # ------------------------------------------------------------------
+    def on_ack(self, subflow: WindowedSubflow) -> None:
+        if self.recompute == "per_ack":
+            subflow.cwnd += self.increase_for(subflow)
+            return
+        # per_window: refresh all cached increases once per total window of
+        # ACKs, mirroring the authors' implementation note.
+        self._acks_since_recompute += 1
+        key = id(subflow)
+        if key not in self._cached or (
+            self._acks_since_recompute >= self.total_window
+        ):
+            windows, rtts = self._windows_and_rtts()
+            self._cached = {
+                id(s): mptcp_increase(windows, rtts, i)
+                for i, s in enumerate(self.subflows)
+            }
+            self._acks_since_recompute = 0
+        subflow.cwnd += self._cached[key]
+
+    def on_loss(self, subflow: WindowedSubflow) -> None:
+        self._halve(subflow)
+        self._cached.clear()
+
+
+class LinkedIncreasesController(CongestionController):
+    """RFC 6356 "Linked Increases" (LIA): eq. (5) with a cached alpha.
+
+    Increase per ACK: min(a/w_total, 1/w_r), with
+    a = w_total · max(w_r/RTT_r²) / (Σ w_r/RTT_r)², recomputed once per
+    window's worth of ACKs (as RFC 6356 suggests) or per ACK.
+    """
+
+    name = "lia"
+
+    def __init__(self, recompute: str = "per_window"):
+        super().__init__()
+        if recompute not in ("per_ack", "per_window"):
+            raise ValueError(f"unknown recompute policy {recompute!r}")
+        self.recompute = recompute
+        self._alpha: float = 1.0
+        self._acks_since_recompute = 0
+        self._have_alpha = False
+
+    @property
+    def alpha(self) -> float:
+        """Current (possibly cached) aggressiveness parameter."""
+        return self._alpha
+
+    def _refresh_alpha(self) -> None:
+        windows = [s.cwnd for s in self.subflows]
+        rtts = [s.srtt if s.srtt else _DEFAULT_RTT for s in self.subflows]
+        self._alpha = rfc6356_alpha(windows, rtts)
+        self._have_alpha = True
+        self._acks_since_recompute = 0
+
+    def on_ack(self, subflow: WindowedSubflow) -> None:
+        self._acks_since_recompute += 1
+        if (
+            not self._have_alpha
+            or self.recompute == "per_ack"
+            or self._acks_since_recompute >= self.total_window
+        ):
+            self._refresh_alpha()
+        total = self.total_window
+        subflow.cwnd += min(self._alpha / total, 1.0 / subflow.cwnd)
+
+    def on_loss(self, subflow: WindowedSubflow) -> None:
+        self._halve(subflow)
+        self._have_alpha = False

@@ -1,0 +1,41 @@
+"""SEMICOUPLED: coupled increase, per-path decrease (§2.4).
+
+ALGORITHM: SEMICOUPLED
+    * For each ACK on path r, increase window w_r by a/w_total.
+    * For each loss on path r, decrease window w_r by w_r/2.
+
+The per-path decrease keeps a useful amount of probe traffic on every path
+(fixing COUPLED's trapping problem, §2.4) while the shared increase still
+biases traffic towards less-congested paths.  Equilibrium windows satisfy
+
+    w_r ≈ sqrt(2a) · (1/p_r) / sqrt(Σ_s 1/p_s)
+
+so with loss rates (1 %, 1 %, 5 %) the weight split is 45/45/10 — in between
+EWTCP (33/33/33) and COUPLED (50/50/0), as §2.4 notes.  The final MPTCP
+algorithm (§2.5) is SEMICOUPLED with the aggressiveness ``a`` chosen
+adaptively for RTT-compensated fairness and the increase capped at 1/w_r.
+"""
+
+from __future__ import annotations
+
+from .base import CongestionController, WindowedSubflow
+
+__all__ = ["SemicoupledController"]
+
+
+class SemicoupledController(CongestionController):
+    """The compromise rule of §2.4, with fixed aggressiveness ``a``."""
+
+    name = "semicoupled"
+
+    def __init__(self, a: float = 1.0):
+        super().__init__()
+        if a <= 0:
+            raise ValueError(f"aggressiveness a must be positive, got {a!r}")
+        self.a = a
+
+    def on_ack(self, subflow: WindowedSubflow) -> None:
+        subflow.cwnd += self.a / self.total_window
+
+    def on_loss(self, subflow: WindowedSubflow) -> None:
+        self._halve(subflow)

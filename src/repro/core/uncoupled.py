@@ -1,0 +1,40 @@
+"""Regular TCP congestion avoidance (and the UNCOUPLED multipath baseline).
+
+ALGORITHM: REGULAR TCP (§2)
+    * Each ACK, increase the congestion window w by 1/w (one packet/RTT).
+    * Each loss, decrease w by w/2.
+
+Running this rule independently on every subflow of a multipath connection
+is the "obvious" strawman of §2.1: at a shared bottleneck an n-path
+connection grabs n times the bandwidth of a single-path TCP.  It exists here
+both as the single-path baseline and to reproduce that unfairness result
+(Fig. 1 scenario).
+"""
+
+from __future__ import annotations
+
+from .base import CongestionController, WindowedSubflow
+
+__all__ = ["RenoController", "UncoupledController"]
+
+
+class RenoController(CongestionController):
+    """AIMD(1, 1/2): the regular TCP congestion avoidance rule."""
+
+    name = "reno"
+
+    def on_ack(self, subflow: WindowedSubflow) -> None:
+        subflow.cwnd += 1.0 / subflow.cwnd
+
+    def on_loss(self, subflow: WindowedSubflow) -> None:
+        self._halve(subflow)
+
+
+class UncoupledController(RenoController):
+    """Regular TCP on each subflow, with no coupling at all (§2.1).
+
+    Behaviourally identical to :class:`RenoController`; the distinct name
+    records intent when used for a multipath connection.
+    """
+
+    name = "uncoupled"

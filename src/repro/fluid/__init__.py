@@ -1,0 +1,48 @@
+"""Fluid/equilibrium models: the paper's balance-equation analysis, made
+executable for cross-checking the packet simulator."""
+
+from .fairness import (
+    fairness_report,
+    satisfies_goal_3,
+    satisfies_goal_4,
+    tcp_reference_windows,
+)
+from .dynamics import (
+    FluidTrajectory,
+    integrate_rates_coupled,
+    integrate_windows,
+    window_derivative,
+)
+from .network_equilibrium import FluidFlow, FluidNetwork, solve_equilibrium
+from .throughput import (
+    coupled_windows,
+    coupled_windows_smoothed,
+    ewtcp_windows,
+    mptcp_equilibrium_windows,
+    semicoupled_weights,
+    semicoupled_windows,
+    tcp_rate,
+    tcp_window,
+)
+
+__all__ = [
+    "FluidFlow",
+    "FluidNetwork",
+    "FluidTrajectory",
+    "coupled_windows",
+    "coupled_windows_smoothed",
+    "ewtcp_windows",
+    "fairness_report",
+    "integrate_rates_coupled",
+    "integrate_windows",
+    "mptcp_equilibrium_windows",
+    "satisfies_goal_3",
+    "satisfies_goal_4",
+    "semicoupled_weights",
+    "semicoupled_windows",
+    "solve_equilibrium",
+    "tcp_rate",
+    "tcp_reference_windows",
+    "tcp_window",
+    "window_derivative",
+]

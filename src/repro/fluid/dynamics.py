@@ -1,0 +1,183 @@
+"""Time-domain fluid dynamics of the §2 algorithms.
+
+Two families of differential equations:
+
+* **Window-based** (:func:`integrate_windows`) — the deterministic fluid
+  limit of the packet-level algorithms this repository implements:
+
+      dw_r/dt = (w_r / RTT_r) · [ (1-p_r)·inc_r(w) − p_r·dec_r(w) ]
+
+  with the per-ACK increase/decrease of REGULAR TCP, EWTCP, COUPLED,
+  SEMICOUPLED or MPTCP.  Trajectories converge to the §2 equilibria and
+  inherit the RTT bias of windowed control: the equilibrium *rate*
+  w/RTT depends on RTT.
+
+* **Rate-based** (:func:`integrate_rates_coupled`) — the Kelly & Voice /
+  Han et al. equations the paper adapted COUPLED from ("the rate-based
+  equations [15, 10] that inspired COUPLED do not suffer from RTT
+  mismatch", §2.3).  In scalable form:
+
+      dx_r/dt = x_r · ( a − β · p_r · x_total )       (x_r ≥ floor)
+
+  whose equilibrium total a/(β·p_min) contains no RTT at all — making
+  §2.3's contrast between the two control families executable.
+
+Integration is plain RK4 with a positivity floor; these systems are
+low-dimensional and smooth away from the floor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from ..core.alpha import mptcp_increase
+
+__all__ = [
+    "window_derivative",
+    "integrate_windows",
+    "integrate_rates_coupled",
+    "FluidTrajectory",
+]
+
+
+class FluidTrajectory:
+    """Sampled trajectory: times plus per-path state vectors."""
+
+    def __init__(self, times: List[float], states: List[List[float]]):
+        self.times = times
+        self.states = states
+
+    @property
+    def final(self) -> List[float]:
+        return self.states[-1]
+
+    def series(self, index: int) -> List[Tuple[float, float]]:
+        """(t, value) pairs for one path — plottable directly."""
+        return [(t, s[index]) for t, s in zip(self.times, self.states)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FluidTrajectory(points={len(self.times)})"
+
+
+def _increase(algorithm: str, windows, rtts, index, a=None):
+    w = windows[index]
+    total = sum(windows)
+    if algorithm in ("reno", "uncoupled", "single"):
+        return 1.0 / w
+    if algorithm == "ewtcp":
+        weight = a if a is not None else 1.0 / len(windows) ** 2
+        return weight / w
+    if algorithm == "coupled":
+        return 1.0 / total
+    if algorithm == "semicoupled":
+        return (a if a is not None else 1.0) / total
+    if algorithm in ("mptcp", "lia"):
+        return mptcp_increase(windows, rtts, index)
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def _decrease(algorithm: str, windows, index):
+    if algorithm == "coupled":
+        return sum(windows) / 2.0
+    return windows[index] / 2.0
+
+
+def window_derivative(
+    algorithm: str,
+    windows: Sequence[float],
+    losses: Sequence[float],
+    rtts: Sequence[float],
+    a: float = None,
+) -> List[float]:
+    """dw/dt of the window-based fluid model at one state point."""
+    derivs = []
+    for r, (w, p, rtt) in enumerate(zip(windows, losses, rtts)):
+        ack_rate = w / rtt
+        inc = _increase(algorithm, windows, rtts, r, a=a)
+        dec = _decrease(algorithm, windows, r)
+        derivs.append(ack_rate * ((1.0 - p) * inc - p * dec))
+    return derivs
+
+
+def _rk4(deriv: Callable[[List[float]], List[float]],
+         state: List[float], dt: float, floor: float) -> List[float]:
+    def add(u, v, scale):
+        return [a + scale * b for a, b in zip(u, v)]
+
+    k1 = deriv(state)
+    k2 = deriv(add(state, k1, dt / 2))
+    k3 = deriv(add(state, k2, dt / 2))
+    k4 = deriv(add(state, k3, dt))
+    nxt = [
+        s + dt / 6.0 * (a + 2 * b + 2 * c + d)
+        for s, a, b, c, d in zip(state, k1, k2, k3, k4)
+    ]
+    return [max(floor, v) for v in nxt]
+
+
+def integrate_windows(
+    algorithm: str,
+    losses: Sequence[float],
+    rtts: Sequence[float],
+    initial: Sequence[float] = None,
+    duration: float = 200.0,
+    dt: float = 0.01,
+    floor: float = 1.0,
+    a: float = None,
+    sample_every: int = 100,
+) -> FluidTrajectory:
+    """Integrate the window-based fluid ODE and sample the trajectory.
+
+    The floor of one packet mirrors the implementations' w_r >= 1 probe
+    bound (§2.4).
+    """
+    if len(losses) != len(rtts):
+        raise ValueError("losses and rtts must have the same length")
+    state = list(initial) if initial is not None else [2.0] * len(losses)
+
+    def deriv(windows):
+        return window_derivative(algorithm, windows, losses, rtts, a=a)
+
+    times, states = [0.0], [list(state)]
+    steps = int(duration / dt)
+    for step in range(1, steps + 1):
+        state = _rk4(deriv, state, dt, floor)
+        if step % sample_every == 0 or step == steps:
+            times.append(step * dt)
+            states.append(list(state))
+    return FluidTrajectory(times, states)
+
+
+def integrate_rates_coupled(
+    losses: Sequence[float],
+    aggressiveness: float = 1.0,
+    beta: float = 0.005,
+    initial: Sequence[float] = None,
+    duration: float = 200.0,
+    dt: float = 0.01,
+    floor: float = 1e-3,
+    sample_every: int = 100,
+) -> FluidTrajectory:
+    """Integrate the rate-based coupled equations (Kelly & Voice form).
+
+    dx_r/dt = x_r (a − β p_r x_total): the equilibrium total a/(β p_min)
+    is RTT-free, and all traffic drifts to minimum-loss paths — the
+    theoretical ancestor of COUPLED.
+    """
+    state = list(initial) if initial is not None else [1.0] * len(losses)
+
+    def deriv(rates: List[float]) -> List[float]:
+        total = sum(rates)
+        return [
+            x * (aggressiveness - beta * p * total)
+            for x, p in zip(rates, losses)
+        ]
+
+    times, states = [0.0], [list(state)]
+    steps = int(duration / dt)
+    for step in range(1, steps + 1):
+        state = _rk4(deriv, state, dt, floor)
+        if step % sample_every == 0 or step == steps:
+            times.append(step * dt)
+            states.append(list(state))
+    return FluidTrajectory(times, states)

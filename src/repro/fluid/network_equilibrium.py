@@ -1,0 +1,139 @@
+"""Network-wide fluid equilibrium: algorithms + capacities -> rates.
+
+Solves for per-link loss rates p_l >= 0 and per-flow windows such that
+
+* every flow's windows are at their algorithm's equilibrium given its
+  paths' loss rates (path loss ≈ sum of link losses, small-p regime), and
+* every link's arrival rate does not exceed capacity, with p_l > 0 only on
+  saturated links (complementary slackness).
+
+This is the standard congestion-pricing fixed point behind the theory the
+paper builds on (Kelly & Voice / Han et al.); we solve it with a damped
+dual update on the link prices.  It reproduces §2's worked examples —
+Fig 2 (COUPLED finds the one-hop paths), Fig 3 (COUPLED equalises at
+10 Mb/s where EWTCP gives 11/11/8) and the §2.3 WiFi/3G arithmetic —
+independently of the packet simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from .throughput import (
+    coupled_windows_smoothed,
+    ewtcp_windows,
+    mptcp_equilibrium_windows,
+    semicoupled_windows,
+    tcp_window,
+)
+
+__all__ = ["FluidFlow", "FluidNetwork", "solve_equilibrium"]
+
+
+@dataclass
+class FluidFlow:
+    """One flow: the links used by each of its paths, RTTs and algorithm."""
+
+    name: str
+    paths: List[List[str]]          # each path = list of link names
+    algorithm: str = "mptcp"        # reno | ewtcp | coupled | semicoupled | mptcp
+    rtts: Sequence[float] = None    # per-path RTT; default 0.1 s everywhere
+    a: float = None                 # EWTCP/SEMICOUPLED aggressiveness
+
+    def __post_init__(self):
+        if not self.paths:
+            raise ValueError(f"flow {self.name!r} needs at least one path")
+        if self.rtts is None:
+            self.rtts = [0.1] * len(self.paths)
+        if len(self.rtts) != len(self.paths):
+            raise ValueError("need one RTT per path")
+
+    def windows(self, path_losses: Sequence[float]) -> List[float]:
+        """Equilibrium windows given the current path loss rates."""
+        algo = self.algorithm
+        if algo in ("reno", "single", "uncoupled"):
+            return [tcp_window(p) for p in path_losses]
+        if algo == "ewtcp":
+            return ewtcp_windows(path_losses, a=self.a)
+        if algo == "coupled":
+            # The smoothed relaxation: exact COUPLED is discontinuous and
+            # its equal-loss split indeterminate (see throughput module).
+            return coupled_windows_smoothed(path_losses)
+        if algo == "semicoupled":
+            return semicoupled_windows(
+                path_losses, a=self.a if self.a is not None else 1.0
+            )
+        if algo in ("mptcp", "lia"):
+            return mptcp_equilibrium_windows(
+                path_losses, list(self.rtts), iterations=400, damping=0.2
+            )
+        raise ValueError(f"unknown algorithm {algo!r}")
+
+
+@dataclass
+class FluidNetwork:
+    """Link capacities (pkt/s or any consistent rate unit) and flows."""
+
+    capacities: Dict[str, float]
+    flows: List[FluidFlow] = field(default_factory=list)
+
+    def add_flow(self, flow: FluidFlow) -> FluidFlow:
+        for path in flow.paths:
+            for link in path:
+                if link not in self.capacities:
+                    raise KeyError(f"flow {flow.name!r} uses unknown link {link!r}")
+        self.flows.append(flow)
+        return flow
+
+
+def solve_equilibrium(
+    network: FluidNetwork,
+    iterations: int = 4000,
+    step: float = 0.1,
+    p_floor: float = 1e-7,
+    p_ceiling: float = 0.5,
+) -> dict:
+    """Damped dual iteration on link loss rates.
+
+    Returns a dict with per-link losses, per-flow path rates and totals.
+    Rates are windows/RTT; the dual update nudges each link's loss rate up
+    when oversubscribed and down when idle capacity remains.
+
+    Capacities should be in pkt/s-like magnitudes (hundreds to tens of
+    thousands): the balance formulas assume the small-loss regime, which
+    requires equilibrium windows well above one packet.
+    """
+    losses = {link: 1e-3 for link in network.capacities}
+
+    flow_rates: Dict[str, List[float]] = {}
+    for iteration in range(iterations):
+        arrivals = {link: 0.0 for link in network.capacities}
+        for flow in network.flows:
+            path_losses = [
+                min(p_ceiling, max(p_floor, sum(losses[l] for l in path)))
+                for path in flow.paths
+            ]
+            windows = flow.windows(path_losses)
+            rates = [w / rtt for w, rtt in zip(windows, flow.rtts)]
+            flow_rates[flow.name] = rates
+            for path, rate in zip(flow.paths, rates):
+                for link in path:
+                    arrivals[link] += rate
+        # Multiplicative dual update on log-utilisation, clipped so one
+        # iteration can never overshoot wildly, and annealed to converge.
+        gamma = step / (1.0 + 3.0 * iteration / iterations)
+        for link, capacity in network.capacities.items():
+            utilisation = max(1e-12, arrivals[link] / capacity)
+            error = min(2.0, max(-2.0, math.log(utilisation)))
+            losses[link] *= math.exp(gamma * error)
+            losses[link] = min(p_ceiling, max(p_floor, losses[link]))
+
+    totals = {name: sum(rates) for name, rates in flow_rates.items()}
+    return {
+        "losses": losses,
+        "flow_path_rates": flow_rates,
+        "flow_totals": totals,
+        "link_arrivals": arrivals,
+    }

@@ -1,0 +1,21 @@
+"""Experiment harness: flow construction, measurement, sweeps and tables."""
+
+from .datacenter import DataCenterRun, run_matrix
+from .experiment import Measurement, make_flow, measure
+from .plotting import ascii_bars, ascii_timeseries
+from .sweep import grid_points, sweep
+from .table import Table, format_value
+
+__all__ = [
+    "DataCenterRun",
+    "Measurement",
+    "Table",
+    "ascii_bars",
+    "ascii_timeseries",
+    "format_value",
+    "grid_points",
+    "make_flow",
+    "run_matrix",
+    "measure",
+    "sweep",
+]

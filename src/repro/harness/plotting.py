@@ -1,0 +1,80 @@
+"""Terminal plots for experiment output.
+
+The paper's time-series figures (10, 15, 17) are rendered as ASCII charts
+so the examples and benches can show *dynamics* — rebalancing after a
+load change, outage recovery — without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_timeseries", "ascii_bars"]
+
+
+def ascii_timeseries(
+    series: Sequence[Tuple[str, Sequence[Tuple[float, float]]]],
+    width: int = 72,
+    height: int = 12,
+    y_label: str = "",
+) -> str:
+    """Render one or more (time, value) series as an ASCII chart.
+
+    Each series is (name, [(t, v), ...]); distinct series get distinct
+    glyphs.  Values are linearly binned into ``width`` columns over the
+    common time range.
+    """
+    glyphs = "*o+x#@%&"
+    populated = [(n, list(pts)) for n, pts in series if pts]
+    if not populated:
+        return "(no data)"
+    t_min = min(p[0] for _n, pts in populated for p in pts)
+    t_max = max(p[0] for _n, pts in populated for p in pts)
+    v_max = max(p[1] for _n, pts in populated for p in pts)
+    v_max = v_max if v_max > 0 else 1.0
+    span = (t_max - t_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (_name, points) in enumerate(populated):
+        glyph = glyphs[index % len(glyphs)]
+        for t, v in points:
+            col = min(width - 1, int((t - t_min) / span * (width - 1)))
+            row = min(height - 1, int(v / v_max * (height - 1)))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if y_label:
+        lines.append(f"{y_label} (max {v_max:.1f})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" t = {t_min:.0f}s .. {t_max:.0f}s")
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {name}" for i, (name, _p) in enumerate(populated)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    items: Sequence[Tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+    reference: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart; optionally mark a reference value with '|'."""
+    values: List[float] = [v for _n, v in items]
+    if not values:
+        return "(no data)"
+    scale = max(max(values), reference or 0.0) or 1.0
+    label_width = max(len(n) for n, _v in items)
+    lines = []
+    for name, value in items:
+        bar_len = int(value / scale * width)
+        cells = ["#"] * bar_len + [" "] * (width - bar_len)
+        if reference is not None:
+            ref_col = min(width - 1, int(reference / scale * width))
+            cells[ref_col] = "|"
+        lines.append(f"{name.rjust(label_width)}  {''.join(cells)} "
+                     f"{value:8.1f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Parameter sweeps (Fig 8's capacity sweep, Fig 16's RTT/capacity grid).
+
+A sweep is a cartesian product of named parameter lists, run through a
+callable returning a result dict per point.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Dict, List, Sequence
+
+__all__ = ["sweep", "grid_points"]
+
+
+def grid_points(parameters: Dict[str, Sequence]) -> List[Dict]:
+    """All combinations of the named parameter values, as dicts.
+
+    >>> grid_points({"a": [1, 2], "b": ["x"]})
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    """
+    if not parameters:
+        return [{}]
+    names = list(parameters)
+    return [
+        dict(zip(names, values))
+        for values in product(*(parameters[n] for n in names))
+    ]
+
+
+def sweep(
+    parameters: Dict[str, Sequence],
+    run: Callable[..., Dict],
+) -> List[Dict]:
+    """Run ``run(**point)`` for every grid point; each result row carries
+    the parameters plus whatever ``run`` returned."""
+    rows = []
+    for point in grid_points(parameters):
+        result = run(**point)
+        row = dict(point)
+        row.update(result)
+        rows.append(row)
+    return rows

@@ -1,0 +1,6 @@
+"""Measurement utilities: throughput meters, loss rates, fairness."""
+
+from .jain import jain_index
+from .meters import LossMeter, ThroughputMeter, windowed_rate
+
+__all__ = ["LossMeter", "ThroughputMeter", "jain_index", "windowed_rate"]

@@ -1,0 +1,41 @@
+"""Multipath TCP connection layer: subflows, data sequencing, reassembly,
+explicit data ACKs and shared-buffer flow control (§6 of the paper)."""
+
+from .connection import MptcpConnection, MptcpFlow, MptcpReceiver
+from .handshake import (
+    HandshakeResult,
+    MpCapableOption,
+    MpJoinOption,
+    MptcpEndpoint,
+    OptionStrippingMiddlebox,
+    connect,
+    join_subflow,
+)
+from .flow_control import (
+    ReceiveWindowTrace,
+    data_ack_deadlock_possible,
+    run_inferred_ack_scenario,
+)
+from .reassembly import DataReassembler, SharedReceiveBuffer
+from .scheduler import DsnScheduler
+from .subflow import MptcpSubflow
+
+__all__ = [
+    "DataReassembler",
+    "DsnScheduler",
+    "HandshakeResult",
+    "MpCapableOption",
+    "MpJoinOption",
+    "MptcpEndpoint",
+    "MptcpConnection",
+    "MptcpFlow",
+    "MptcpReceiver",
+    "MptcpSubflow",
+    "OptionStrippingMiddlebox",
+    "ReceiveWindowTrace",
+    "SharedReceiveBuffer",
+    "connect",
+    "data_ack_deadlock_possible",
+    "join_subflow",
+    "run_inferred_ack_scenario",
+]

@@ -1,0 +1,309 @@
+"""The multipath TCP connection: subflows + coupled congestion control +
+data-level sequencing, reassembly and flow control (§2 and §6).
+
+:class:`MptcpConnection` is the sender side: it owns the shared
+:class:`~repro.core.base.CongestionController`, assigns data sequence
+numbers to subflows on demand, tracks the explicit data cumulative ACK and
+the advertised receive window, and (optionally) reinjects data stranded on a
+dead subflow.
+
+:class:`MptcpReceiver` is the receiving side: one
+:class:`~repro.tcp.receiver.TcpReceiver` per subflow feeds the shared
+:class:`~repro.mptcp.reassembly.DataReassembler`; every subflow ACK carries
+the explicit data ACK and the shared-buffer receive window (§6 shows why
+both must be explicit).
+
+:class:`MptcpFlow` wires both ends over a list of routes — the unit the
+experiments work with.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..core.base import CongestionController
+from ..net.packet import DataPacket
+from ..net.route import Route
+from ..sim.simulation import Simulation
+from ..tcp.receiver import TcpReceiver
+from .reassembly import DataReassembler, SharedReceiveBuffer
+from .scheduler import DsnScheduler
+from .subflow import MptcpSubflow
+
+__all__ = ["MptcpConnection", "MptcpReceiver", "MptcpFlow"]
+
+
+class MptcpConnection:
+    """Sender side of one multipath connection."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        controller: CongestionController,
+        transfer_packets: Optional[int] = None,
+        name: str = "mptcp",
+        enable_reinjection: bool = False,
+        reinjection_timeout_threshold: int = 2,
+    ):
+        self.sim = sim
+        self.controller = controller
+        self.name = name
+        self.scheduler = DsnScheduler(limit=transfer_packets)
+        self.subflows: List[MptcpSubflow] = []
+        self.data_acked = 0              # connection-level cumulative ACK
+        self.peer_rwnd: Optional[int] = None
+        self.completed = False
+        self.on_complete: Optional[Callable[["MptcpConnection"], None]] = None
+        self.enable_reinjection = enable_reinjection
+        self.reinjection_timeout_threshold = reinjection_timeout_threshold
+        self._subflow_timeout_marks: dict = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_subflow(self, name: str = "", **sender_kwargs) -> MptcpSubflow:
+        """Create a new subflow (§6 subflow establishment: additional
+        subflows join the existing connection)."""
+        label = name or f"{self.name}.sf{len(self.subflows)}"
+        subflow = MptcpSubflow(
+            self.sim, self.controller, self, name=label, **sender_kwargs
+        )
+        self.subflows.append(subflow)
+        return subflow
+
+    # ------------------------------------------------------------------
+    # Data scheduling (called by subflows)
+    # ------------------------------------------------------------------
+    def next_dsn(self, subflow: MptcpSubflow) -> Optional[int]:
+        if self.completed:
+            return None
+        flow_limit = None
+        if self.peer_rwnd is not None:
+            # Receive window is advertised relative to the data cumulative
+            # ACK (§6): fresh data must stay below data_acked + rwnd.
+            flow_limit = self.data_acked + self.peer_rwnd
+        return self.scheduler.next_dsn(flow_limit)
+
+    # ------------------------------------------------------------------
+    # ACK plumbing (called by subflows)
+    # ------------------------------------------------------------------
+    def on_data_ack(self, data_ack: Optional[int], rwnd: Optional[int]) -> None:
+        opened = False
+        if rwnd is not None and rwnd != self.peer_rwnd:
+            if self.peer_rwnd is None or rwnd > self.peer_rwnd:
+                opened = True
+            self.peer_rwnd = rwnd
+        if data_ack is not None and data_ack > self.data_acked:
+            self.data_acked = data_ack
+            self.scheduler.drop_reinjections_below(data_ack)
+            opened = True
+            self._check_complete()
+        if opened and not self.completed:
+            self._kick_subflows()
+
+    def _kick_subflows(self) -> None:
+        for subflow in self.subflows:
+            if subflow.running:
+                subflow.maybe_send()
+
+    def _check_complete(self) -> None:
+        limit = self.scheduler.limit
+        if limit is not None and self.data_acked >= limit and not self.completed:
+            self.completed = True
+            for subflow in self.subflows:
+                subflow.stop()
+            if self.on_complete is not None:
+                self.on_complete(self)
+
+    # ------------------------------------------------------------------
+    # Reinjection extension
+    # ------------------------------------------------------------------
+    def notice_subflow_timeout(self, subflow: MptcpSubflow) -> None:
+        """Called when a subflow times out repeatedly; with reinjection
+        enabled, strand-ed data is requeued for the healthy subflows."""
+        if not self.enable_reinjection:
+            return
+        marks = self._subflow_timeout_marks.get(subflow, 0) + 1
+        self._subflow_timeout_marks[subflow] = marks
+        if marks < self.reinjection_timeout_threshold:
+            return
+        self._subflow_timeout_marks[subflow] = 0
+        for dsn in sorted(
+            d
+            for d in subflow._dsn_map.values()
+            if d is not None and d >= self.data_acked
+        ):
+            self.scheduler.queue_reinjection(dsn)
+        self._kick_subflows()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, at: Optional[float] = None) -> None:
+        for subflow in self.subflows:
+            subflow.start(at=at)
+
+    def stop(self) -> None:
+        for subflow in self.subflows:
+            subflow.stop()
+
+    @property
+    def total_cwnd(self) -> float:
+        return sum(s.cwnd for s in self.subflows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MptcpConnection({self.name!r}, subflows={len(self.subflows)}, "
+            f"data_acked={self.data_acked})"
+        )
+
+
+class MptcpReceiver:
+    """Receiver side: per-subflow receivers feeding one shared reassembler.
+
+    ``receive_buffer`` packets bound the shared pool (§6's single buffer);
+    None models an unconstrained receiver.  ``app_read_rate`` (packets per
+    second) simulates a slow application draining the pool; None means the
+    application reads instantly.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str = "mptcp.rx",
+        receive_buffer: Optional[int] = None,
+        app_read_rate: Optional[float] = None,
+        enable_sack: bool = True,
+    ):
+        self.sim = sim
+        self.name = name
+        self.reassembler = DataReassembler()
+        self.buffer = SharedReceiveBuffer(capacity=receive_buffer)
+        self.buffer.bind(self.reassembler)
+        self.reassembler.on_data = self._on_in_order_data
+        self.app_read_rate = app_read_rate
+        self.enable_sack = enable_sack
+        self.subflow_receivers: List[TcpReceiver] = []
+        self._read_timer = None
+
+    def new_subflow_receiver(self, name: str = "") -> TcpReceiver:
+        label = name or f"{self.name}.sf{len(self.subflow_receivers)}"
+        receiver = TcpReceiver(self.sim, name=label, enable_sack=self.enable_sack)
+        receiver.on_deliver = self._on_subflow_deliver
+        receiver.ack_extension = self._ack_extension
+        self.subflow_receivers.append(receiver)
+        return receiver
+
+    # ------------------------------------------------------------------
+    def _on_subflow_deliver(self, packet: DataPacket) -> None:
+        if packet.dsn is None:
+            raise ValueError(
+                f"multipath receiver {self.name!r} got packet without DSN"
+            )
+        self.reassembler.receive(packet.dsn, packet)
+
+    def _on_in_order_data(self, dsn: int, payload: object) -> None:
+        self.buffer.on_in_order(1)
+        if self.app_read_rate is None:
+            self.buffer.app_read(1)
+        else:
+            self._ensure_read_timer()
+
+    def _ensure_read_timer(self) -> None:
+        if self._read_timer is None and self.buffer.unread > 0:
+            self._read_timer = self.sim.schedule_in(
+                1.0 / self.app_read_rate, self._app_read_tick
+            )
+
+    def _app_read_tick(self) -> None:
+        self._read_timer = None
+        self.buffer.app_read(1)
+        self._ensure_read_timer()
+
+    def _ack_extension(self) -> Tuple[Optional[int], Optional[int]]:
+        return self.reassembler.data_cum_ack, self.buffer.rwnd
+
+    @property
+    def packets_delivered(self) -> int:
+        """In-order data packets delivered to the connection level."""
+        return self.reassembler.delivered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MptcpReceiver({self.name!r}, delivered={self.packets_delivered})"
+
+
+class MptcpFlow:
+    """A complete multipath connection over a set of routes.
+
+    >>> flow = MptcpFlow(sim, routes, MptcpController(), name="m")
+    >>> flow.start()
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        routes: Sequence[Route],
+        controller: CongestionController,
+        transfer_packets: Optional[int] = None,
+        name: str = "mptcp",
+        receive_buffer: Optional[int] = None,
+        app_read_rate: Optional[float] = None,
+        enable_sack: bool = True,
+        enable_reinjection: bool = False,
+        **sender_kwargs: Any,
+    ):
+        if not routes:
+            raise ValueError("a multipath flow needs at least one route")
+        self.sim = sim
+        self.name = name
+        self.connection = MptcpConnection(
+            sim,
+            controller,
+            transfer_packets=transfer_packets,
+            name=name,
+            enable_reinjection=enable_reinjection,
+        )
+        self.receiver = MptcpReceiver(
+            sim,
+            name=f"{name}.rx",
+            receive_buffer=receive_buffer,
+            app_read_rate=app_read_rate,
+            enable_sack=enable_sack,
+        )
+        self.routes = list(routes)
+        for i, route in enumerate(self.routes):
+            subflow = self.connection.add_subflow(
+                name=f"{name}.sf{i}", enable_sack=enable_sack, **sender_kwargs
+            )
+            subflow_receiver = self.receiver.new_subflow_receiver()
+            subflow.attach(route, subflow_receiver)
+
+    # ------------------------------------------------------------------
+    @property
+    def subflows(self) -> List[MptcpSubflow]:
+        return self.connection.subflows
+
+    @property
+    def controller(self) -> CongestionController:
+        return self.connection.controller
+
+    @property
+    def packets_delivered(self) -> int:
+        return self.receiver.packets_delivered
+
+    def subflow_delivered(self) -> List[int]:
+        """In-order subflow-level deliveries, per subflow (per-path load)."""
+        return [r.packets_delivered for r in self.receiver.subflow_receivers]
+
+    def start(self, at: Optional[float] = None) -> None:
+        self.connection.start(at=at)
+
+    def stop(self) -> None:
+        self.connection.stop()
+
+    @property
+    def completed(self) -> bool:
+        return self.connection.completed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MptcpFlow({self.name!r}, paths={len(self.routes)})"

@@ -1,0 +1,136 @@
+"""Executable models of the §6 protocol-design arguments.
+
+§6 of the paper motivates two non-obvious design decisions with concrete
+failure scenarios:
+
+1. **The data cumulative ACK must be explicit.**  A sender *could* try to
+   infer the data-level cumulative ACK from subflow ACKs (it knows which
+   data went out with which subflow sequence number) — but the trailing
+   edge of the receive window cannot be inferred reliably when subflow ACKs
+   arrive out of order, leading to "either missed sending opportunities or
+   dropped packets".  :func:`run_inferred_ack_scenario` replays the paper's
+   four-step scenario under both policies and reports what happens.
+
+2. **Data ACKs must not be flow-controlled.**  If data ACKs were embedded in
+   the payload stream (an SSL-like chunking encoding), they would be subject
+   to flow control, and the paper gives a deadlock cycle: A's pool is full,
+   B cannot send the data ACK A needs to free its send buffer.
+   :func:`data_ack_deadlock_possible` evaluates the cycle for a given
+   encoding choice.
+
+These are small state-machine models, not packet simulations: they make the
+paper's reasoning testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = [
+    "ReceiveWindowTrace",
+    "run_inferred_ack_scenario",
+    "data_ack_deadlock_possible",
+]
+
+
+@dataclass
+class ReceiveWindowTrace:
+    """Outcome of the §6 ACK-reordering scenario for one ACK policy."""
+
+    policy: str
+    events: List[str] = field(default_factory=list)
+    overcommitted: bool = False  # sender sent data the receiver must drop
+
+    def log(self, message: str) -> None:
+        self.events.append(message)
+
+
+def run_inferred_ack_scenario(policy: str = "inferred") -> ReceiveWindowTrace:
+    """Replay §6's scenario: a 2-packet receive buffer, data segments 1 and
+    2 sent on subflows 1 and 2, whose ACKs arrive in reverse order because
+    path 2 is faster.
+
+    ``policy`` is ``"inferred"`` (derive the data cumulative ACK from
+    subflow ACKs) or ``"explicit"`` (each ACK carries the data ACK and the
+    window is advertised relative to it).
+
+    With the inferred policy the sender, upon the late ACK of subflow 1,
+    computes data-cum-ack = 2 and window = 1 *relative to 2*, so it sends
+    data segment 3 — which the receiver has no room to buffer (the paper's
+    step iv).  With explicit data ACKs the window edge is unambiguous and no
+    overcommit happens.
+    """
+    if policy not in ("inferred", "explicit"):
+        raise ValueError(f"unknown policy {policy!r}")
+    trace = ReceiveWindowTrace(policy=policy)
+    buffer_capacity = 2
+
+    # The receiver accepted data 1 (subflow 1, seq 10) and data 2 (subflow
+    # 2, seq 20); the application has read nothing, so the pool holds 2.
+    pool_occupancy = 2
+    data_cum_ack_at_receiver = 2  # data 1 and 2 received in order
+
+    # ACK for subflow-1/seq-10 was generated first ("window closed to 1"),
+    # ACK for subflow-2/seq-20 second ("window now zero") — but they arrive
+    # in the opposite order (path 2 is faster).
+    if policy == "explicit":
+        # Each ACK carries (data_ack, rwnd relative to data_ack).
+        arrivals = [
+            ("ack sf2/20", 2, buffer_capacity - pool_occupancy),  # (2, 0)
+            ("ack sf1/10", 2, buffer_capacity - pool_occupancy),  # (2, 0)
+        ]
+        window_edge = 0
+        for label, data_ack, rwnd in arrivals:
+            window_edge = max(window_edge, data_ack + rwnd)
+            trace.log(f"{label}: data_ack={data_ack} rwnd={rwnd} "
+                      f"edge={window_edge}")
+        may_send_third = window_edge > 2
+        trace.overcommitted = may_send_third and pool_occupancy >= buffer_capacity
+        trace.log(
+            "sender may not send data 3 (edge = 2)"
+            if not may_send_third
+            else "sender sends data 3"
+        )
+        return trace
+
+    # Inferred policy: ACKs carry only (subflow, subflow_ack, rwnd counted
+    # against the *subflow* data known in order at generation time).
+    # Step iii: ACK for sf2/20 arrives first.  The sender infers data 2 was
+    # received but data 1 was not: inferred data-cum-ack stays 0.
+    inferred_cum_ack = 0
+    trace.log("ack sf2/20 first: inferred data_cum_ack=0, rwnd=0 -> idle "
+              "(missed sending opportunity)")
+    # Step iv: ACK for sf1/10 arrives.  Now both 1 and 2 are known received:
+    # inferred data-cum-ack = 2.  But this ACK was *generated* when only
+    # data 1 had arrived, so it advertised rwnd = 1 (one free slot).
+    inferred_cum_ack = 2
+    advertised_rwnd = 1
+    window_edge = inferred_cum_ack + advertised_rwnd  # = 3
+    trace.log(f"ack sf1/10 second: inferred data_cum_ack=2, stale rwnd="
+              f"{advertised_rwnd}, edge={window_edge}")
+    if window_edge > 2:
+        trace.log("sender sends data 3; receiver pool is full -> drop")
+        trace.overcommitted = pool_occupancy >= buffer_capacity
+    return trace
+
+
+def data_ack_deadlock_possible(
+    data_acks_flow_controlled: bool,
+    a_receive_pool_full: bool = True,
+    a_send_buffer_full: bool = True,
+) -> bool:
+    """Evaluate §6's deadlock cycle for an encoding choice.
+
+    If data ACKs travel in the payload stream they are subject to the peer's
+    flow control.  The paper's cycle: A's receive pool is full (its app
+    will not read until it finishes sending); B therefore may not send
+    anything — including the data ACK A needs to free its send buffer; A's
+    send buffer stays full, so A's app never reads.  Deadlock.
+
+    Carrying data ACKs in TCP options (the paper's choice) makes them exempt
+    from flow control, breaking the cycle.
+    """
+    if not data_acks_flow_controlled:
+        return False  # B can always emit the data ACK; A's buffer drains.
+    return a_receive_pool_full and a_send_buffer_full

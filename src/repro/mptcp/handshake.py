@@ -1,0 +1,176 @@
+"""Subflow establishment (§6), as a connection-setup state machine.
+
+§6: "A TCP option in the SYN packets of the first subflow is used to
+negotiate the use of multipath if both ends support it, otherwise they
+fall back to regular TCP behavior.  After this, additional subflows can be
+initiated; a TCP option in the SYN packets of the new subflows allows the
+recipient to tie the subflow into the existing connection."
+
+This module models that negotiation — including the two deployment
+hazards it must survive: a peer that does not speak multipath, and a
+middlebox that strips unknown TCP options from SYNs.  It is deliberately
+independent of the packet simulator: establishment is a three-message
+exchange whose interesting behaviour is the state machine, not queueing.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = [
+    "MpCapableOption",
+    "MpJoinOption",
+    "HandshakeResult",
+    "MptcpEndpoint",
+    "OptionStrippingMiddlebox",
+    "connect",
+    "join_subflow",
+]
+
+
+@dataclass(frozen=True)
+class MpCapableOption:
+    """MP_CAPABLE: offered in the first subflow's SYN."""
+
+    sender_key: int
+
+
+@dataclass(frozen=True)
+class MpJoinOption:
+    """MP_JOIN: ties an additional subflow to an existing connection."""
+
+    token: int
+
+
+@dataclass
+class HandshakeResult:
+    """Outcome of connection (or subflow) establishment."""
+
+    multipath: bool
+    connection_token: Optional[int] = None
+    reason: str = ""
+
+
+def _token_from_key(key: int) -> int:
+    """The connection token is a truncated hash of the receiver's key (as
+    in the mptcp draft: tokens must not reveal the key)."""
+    digest = hashlib.sha1(str(key).encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+class OptionStrippingMiddlebox:
+    """A middlebox that removes unknown TCP options (a common failure
+    mode the negotiation must downgrade around, §6)."""
+
+    def __init__(self, strip_probability: float = 1.0, rng=None):
+        if not 0.0 <= strip_probability <= 1.0:
+            raise ValueError("strip_probability must be in [0, 1]")
+        self.strip_probability = strip_probability
+        self.rng = rng
+        self.stripped = 0
+
+    def pass_option(self, option):
+        """Returns the option, or None if stripped."""
+        import random as _random
+
+        rng = self.rng if self.rng is not None else _random
+        if option is not None and rng.random() < self.strip_probability:
+            self.stripped += 1
+            return None
+        return option
+
+
+class MptcpEndpoint:
+    """One host's multipath connection table."""
+
+    def __init__(self, name: str, supports_multipath: bool = True, key: int = 1):
+        self.name = name
+        self.supports_multipath = supports_multipath
+        self.key = key
+        #: token -> connection record for join lookups
+        self.connections: Dict[int, dict] = {}
+
+    # -- passive side ---------------------------------------------------
+    def on_syn(self, option: Optional[MpCapableOption]) -> Optional[MpCapableOption]:
+        """Handle the first subflow's SYN; echo MP_CAPABLE if we do
+        multipath and the option survived the path."""
+        if option is None or not self.supports_multipath:
+            return None
+        token = _token_from_key(self.key)
+        self.connections[token] = {"peer_key": option.sender_key, "subflows": 1}
+        return MpCapableOption(sender_key=self.key)
+
+    def on_join(self, option: Optional[MpJoinOption]) -> bool:
+        """Handle an additional subflow's SYN: accept only if the token
+        maps to a live multipath connection."""
+        if option is None or not self.supports_multipath:
+            return False
+        record = self.connections.get(option.token)
+        if record is None:
+            return False
+        record["subflows"] += 1
+        return True
+
+    def auth_for_join(self, token: int, nonce: int) -> Optional[bytes]:
+        """HMAC over the join nonce with the connection keys (the draft's
+        protection against blind subflow hijacking)."""
+        record = self.connections.get(token)
+        if record is None:
+            return None
+        key_material = f"{self.key}:{record['peer_key']}".encode()
+        return hmac.new(key_material, str(nonce).encode(), hashlib.sha256).digest()
+
+
+def connect(
+    client: MptcpEndpoint,
+    server: MptcpEndpoint,
+    middlebox: Optional[OptionStrippingMiddlebox] = None,
+) -> HandshakeResult:
+    """First-subflow establishment: SYN(MP_CAPABLE) -> SYN/ACK(MP_CAPABLE).
+
+    Falls back to regular TCP if either end lacks multipath support or a
+    middlebox strips the option in either direction (§6's requirement that
+    the protocol degrade, never break).
+    """
+    if not client.supports_multipath:
+        return HandshakeResult(False, reason="client is regular TCP")
+    offer: Optional[MpCapableOption] = MpCapableOption(sender_key=client.key)
+    if middlebox is not None:
+        offer = middlebox.pass_option(offer)
+    reply = server.on_syn(offer)
+    if middlebox is not None:
+        reply = middlebox.pass_option(reply)
+    if reply is None:
+        return HandshakeResult(False, reason="no MP_CAPABLE echo; regular TCP")
+    token = _token_from_key(reply.sender_key)
+    client.connections[token] = {"peer_key": reply.sender_key, "subflows": 1}
+    return HandshakeResult(True, connection_token=token, reason="negotiated")
+
+
+def join_subflow(
+    client: MptcpEndpoint,
+    server: MptcpEndpoint,
+    token: Optional[int],
+    middlebox: Optional[OptionStrippingMiddlebox] = None,
+) -> HandshakeResult:
+    """Additional-subflow establishment: SYN(MP_JOIN(token)).
+
+    A stripped or unknown token means the subflow cannot be tied to the
+    connection: the join is refused (the extra path is simply not used —
+    the connection itself is unaffected).
+    """
+    if token is None:
+        return HandshakeResult(False, reason="no token: connection is not multipath")
+    option: Optional[MpJoinOption] = MpJoinOption(token=token)
+    if middlebox is not None:
+        option = middlebox.pass_option(option)
+    accepted = server.on_join(option)
+    if not accepted:
+        return HandshakeResult(False, reason="join refused")
+    record = client.connections.get(token)
+    if record is not None:
+        record["subflows"] += 1
+    return HandshakeResult(True, connection_token=token, reason="joined")

@@ -1,0 +1,71 @@
+"""Data-sequence scheduling: striping the stream across subflows.
+
+The paper's sender "stripes packets across these subflows as space in the
+subflow windows becomes available" (§2).  We implement exactly that pull
+model: whenever a subflow has congestion-window (and connection-level
+flow-control) headroom it asks the scheduler for the next data sequence
+number.  The scheduler also owns the *reinjection queue*, an optional
+robustness extension: data that was mapped to a subflow that subsequently
+went dead can be queued for retransmission on the other subflows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+__all__ = ["DsnScheduler"]
+
+
+class DsnScheduler:
+    """Assigns data sequence numbers to subflows on demand."""
+
+    def __init__(self, limit: Optional[int] = None):
+        if limit is not None and limit < 1:
+            raise ValueError(f"transfer size must be >= 1, got {limit!r}")
+        self.limit = limit
+        self.next_fresh_dsn = 0
+        self._reinjection: Deque[int] = deque()
+        self.reinjected = 0
+
+    # ------------------------------------------------------------------
+    def next_dsn(self, flow_control_limit: Optional[int]) -> Optional[int]:
+        """Next DSN to transmit, or None if out of data / out of window.
+
+        ``flow_control_limit`` is the highest DSN (exclusive) the receive
+        window currently allows for *fresh* data; reinjected DSNs are below
+        the window edge by construction and are always eligible.
+        """
+        if self._reinjection:
+            self.reinjected += 1
+            return self._reinjection.popleft()
+        if self.limit is not None and self.next_fresh_dsn >= self.limit:
+            return None
+        if (
+            flow_control_limit is not None
+            and self.next_fresh_dsn >= flow_control_limit
+        ):
+            return None
+        dsn = self.next_fresh_dsn
+        self.next_fresh_dsn += 1
+        return dsn
+
+    def queue_reinjection(self, dsn: int) -> None:
+        """Queue a DSN for retransmission on another subflow."""
+        self._reinjection.append(dsn)
+
+    def drop_reinjections_below(self, data_cum_ack: int) -> None:
+        """Purge queued reinjections the data ACK has already covered."""
+        self._reinjection = deque(
+            d for d in self._reinjection if d >= data_cum_ack
+        )
+
+    @property
+    def pending_reinjections(self) -> int:
+        return len(self._reinjection)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DsnScheduler(next={self.next_fresh_dsn}, limit={self.limit}, "
+            f"reinj={len(self._reinjection)})"
+        )

@@ -1,0 +1,61 @@
+"""One MPTCP subflow: a TCP sender whose payload comes from the connection.
+
+Each subflow keeps its own sequence space, loss detection and retransmission
+state (§6: "the sequence numbers and cumulative ack in the TCP header are
+per-subflow, allowing efficient loss detection and fast retransmission"),
+while the data it carries is assigned connection-level data sequence
+numbers.  Retransmissions resend the *same* DSN on the same subflow, so the
+seq→DSN mapping survives loss.
+
+Window adaptation comes from the connection's shared
+:class:`~repro.core.base.CongestionController` — this is where the coupling
+between subflows happens.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..net.packet import AckPacket
+from ..tcp.sender import TcpSender
+
+__all__ = ["MptcpSubflow"]
+
+
+class MptcpSubflow(TcpSender):
+    """A TCP sender bound to a parent multipath connection."""
+
+    def __init__(self, sim, controller, connection, name="", **kwargs):
+        super().__init__(sim, controller, source=None, name=name, **kwargs)
+        self.connection = connection
+
+    def _acquire_payload(self, seq: int) -> Tuple[bool, Optional[int]]:
+        """Pull the next data sequence number from the connection.
+
+        Returns (False, None) when the connection has no more data for us —
+        either the transfer is finished or connection-level flow control
+        (the shared receive buffer, §6) blocks new data.
+        """
+        dsn = self.connection.next_dsn(self)
+        if dsn is None:
+            return False, None
+        return True, dsn
+
+    def _process_ack_extras(self, ack: AckPacket) -> None:
+        """Feed the explicit data ACK and receive window to the connection."""
+        self.connection.on_data_ack(ack.data_ack, ack.rwnd)
+
+    def _on_timeout(self) -> None:
+        super()._on_timeout()
+        self.connection.notice_subflow_timeout(self)
+
+    def _check_complete(self) -> None:
+        # Completion is a connection-level notion (the data cumulative ACK
+        # reaching the transfer size); the connection stops its subflows.
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MptcpSubflow({self.name!r}, cwnd={self.cwnd:.1f}, "
+            f"acked={self.last_acked})"
+        )

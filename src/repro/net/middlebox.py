@@ -1,0 +1,78 @@
+"""Middlebox models (§6).
+
+§6 motivates the split between subflow sequence numbers and data sequence
+numbers with middleboxes: "the pf firewall can re-write TCP sequence
+numbers to improve the randomness of the initial sequence number.  If only
+one of the subflows passes through such a firewall, the receiver cannot
+reliably reconstruct the data stream."
+
+:class:`SequenceRandomizingFirewall` models exactly that: an on-path
+element that adds a fixed random offset to the TCP sequence number of
+every data packet that crosses it (and un-rewrites the cumulative ACK on
+the way back, as pf does).  Because our packets carry the data sequence
+number as a separate field (the design the paper chose), connections work
+through it unchanged; a design that striped one sequence space across
+subflows would misplace every rewritten byte — which the test suite
+demonstrates against a model of that alternative.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..net.packet import AckPacket, DataPacket, Packet
+from ..sim.simulation import Simulation
+
+__all__ = ["SequenceRandomizingFirewall"]
+
+
+class SequenceRandomizingFirewall:
+    """On-path element that rewrites subflow sequence numbers by a fixed
+    per-connection offset (pf-style ISN randomisation).
+
+    Insert it into a route's element list.  Data packets travelling
+    "forward" get ``seq + offset``; ACKs crossing it in a route get
+    ``ack_seq - offset`` so the rewriting is transparent end-to-end at the
+    *subflow* level — but any state the endpoints try to infer by equating
+    subflow sequence numbers with data-stream positions is silently
+    corrupted.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        offset: Optional[int] = None,
+        name: str = "fw",
+        rng: Optional[random.Random] = None,
+    ):
+        self.sim = sim
+        rng = rng if rng is not None else sim.rng
+        self.offset = offset if offset is not None else rng.randrange(10**6, 10**9)
+        self.name = name
+        self.packets_rewritten = 0
+
+    def receive(self, packet: Packet) -> None:
+        if isinstance(packet, DataPacket):
+            packet.seq += self.offset
+            self.packets_rewritten += 1
+        elif isinstance(packet, AckPacket):
+            packet.ack_seq -= self.offset
+            if packet.sack_blocks:
+                packet.sack_blocks = tuple(
+                    (s - self.offset, e - self.offset)
+                    for s, e in packet.sack_blocks
+                )
+            self.packets_rewritten += 1
+        packet.forward()
+
+    def reverse_twin(self) -> "SequenceRandomizingFirewall":
+        """The matching element for the ACK return path: it must undo the
+        same offset, so it shares it."""
+        twin = SequenceRandomizingFirewall(
+            self.sim, offset=self.offset, name=f"{self.name}.rev"
+        )
+        return twin
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SequenceRandomizingFirewall({self.name!r}, offset={self.offset})"

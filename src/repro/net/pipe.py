@@ -1,0 +1,81 @@
+"""Propagation-delay pipes.
+
+A :class:`Pipe` delivers every packet it receives to the next hop after a
+fixed delay, with unlimited capacity — it models the speed-of-light latency
+of a link, while the queueing behaviour lives in :class:`~repro.net.queue.
+DropTailQueue`.
+
+A :class:`LossyPipe` additionally drops packets independently with a fixed
+probability.  This gives a controlled environment with a known loss rate
+``p``, which we use throughout the test suite to validate the paper's
+equilibrium window formulae (e.g. regular TCP's ``w = sqrt(2/p)``), and to
+model lossy wireless media (§5) whose losses are not congestion-induced.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..sim.simulation import Simulation
+from .packet import Packet
+
+__all__ = ["Pipe", "LossyPipe"]
+
+
+class Pipe:
+    """Fixed propagation delay with infinite capacity."""
+
+    __slots__ = ("sim", "delay", "name", "deliveries")
+
+    def __init__(self, sim: Simulation, delay: float, name: str = ""):
+        if delay < 0:
+            raise ValueError(f"pipe delay must be >= 0, got {delay!r}")
+        self.sim = sim
+        self.delay = float(delay)
+        self.name = name
+        self.deliveries = 0
+
+    def receive(self, packet: Packet) -> None:
+        if self.delay == 0.0:
+            self._deliver(packet)
+        else:
+            self.sim.schedule_in(self.delay, self._deliver, packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.deliveries += 1
+        packet.forward()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, delay={self.delay * 1e3:.1f}ms)"
+
+
+class LossyPipe(Pipe):
+    """Pipe that drops packets independently with probability ``loss_prob``.
+
+    Uses the simulation's seeded RNG by default so that runs are
+    reproducible.
+    """
+
+    __slots__ = ("loss_prob", "drops", "rng")
+
+    def __init__(
+        self,
+        sim: Simulation,
+        delay: float,
+        loss_prob: float,
+        name: str = "",
+        rng: Optional[random.Random] = None,
+    ):
+        if not 0.0 <= loss_prob < 1.0:
+            raise ValueError(f"loss_prob must be in [0, 1), got {loss_prob!r}")
+        super().__init__(sim, delay, name)
+        self.loss_prob = float(loss_prob)
+        self.drops = 0
+        self.rng = rng if rng is not None else sim.rng
+
+    def receive(self, packet: Packet) -> None:
+        if self.loss_prob > 0.0 and self.rng.random() < self.loss_prob:
+            self.drops += 1
+            return
+        super().receive(packet)

@@ -1,0 +1,195 @@
+"""Drop-tail queues: the model of a link's transmission buffer.
+
+A :class:`DropTailQueue` serves packets FIFO at a fixed rate (packets per
+second for full-sized packets) and drops arrivals once ``capacity`` packets
+are queued, exactly like the output buffer of a router interface.  Losses in
+the simulated networks arise from these overflows, as in the paper's
+simulator.
+
+:class:`VariableRateQueue` extends this with run-time rate changes and
+outages, used for the wireless-client scenarios (§5) where link capacity
+varies as the user moves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from ..sim.simulation import Simulation
+from .packet import Packet
+
+__all__ = ["DropTailQueue", "VariableRateQueue"]
+
+
+class DropTailQueue:
+    """FIFO queue with finite buffer and fixed service rate.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulation.
+    rate_pps:
+        Service rate in full-sized packets per second.
+    capacity:
+        Buffer size in packets (counts packets queued, including the one in
+        transmission).
+    name:
+        Optional identifier for metrics and debugging.
+    """
+
+    #: Default service-time jitter (fraction of the nominal service time).
+    #: Real links never serve packets with perfectly constant spacing
+    #: (frame sizes, scheduling, interrupt coalescing all vary); a few
+    #: percent of jitter reproduces that and prevents the artificial
+    #: phase-locking of ACK clocks that perfectly deterministic service
+    #: creates, which would skew drop-tail losses towards whichever flow
+    #: grew its window that round-trip.
+    DEFAULT_JITTER = 0.05
+
+    __slots__ = (
+        "sim",
+        "rate_pps",
+        "capacity",
+        "name",
+        "jitter",
+        "_buffer",
+        "_busy",
+        "arrivals",
+        "departures",
+        "drops",
+        "drop_hook",
+    )
+
+    def __init__(
+        self,
+        sim: Simulation,
+        rate_pps: float,
+        capacity: int,
+        name: str = "",
+        jitter: Optional[float] = None,
+    ):
+        if rate_pps <= 0:
+            raise ValueError(f"queue rate must be positive, got {rate_pps!r}")
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity!r}")
+        self.sim = sim
+        self.rate_pps = float(rate_pps)
+        self.capacity = int(capacity)
+        self.name = name
+        self.jitter = self.DEFAULT_JITTER if jitter is None else float(jitter)
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter!r}")
+        self._buffer: deque = deque()
+        self._busy = False
+        self.arrivals = 0
+        self.departures = 0
+        self.drops = 0
+        #: Optional callback invoked with each dropped packet.
+        self.drop_hook: Optional[Callable[[Packet], None]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Packets currently queued (including the one being transmitted)."""
+        return len(self._buffer)
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of arrivals dropped since creation (or last reset)."""
+        if self.arrivals == 0:
+            return 0.0
+        return self.drops / self.arrivals
+
+    def reset_counters(self) -> None:
+        """Zero the arrival/departure/drop counters (not the buffer)."""
+        self.arrivals = 0
+        self.departures = 0
+        self.drops = 0
+
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        self.arrivals += 1
+        if len(self._buffer) >= self.capacity:
+            self.drops += 1
+            self._drop(packet)
+            return
+        self._buffer.append(packet)
+        if not self._busy:
+            self._start_service()
+
+    def _drop(self, packet: Packet) -> None:
+        if self.drop_hook is not None:
+            self.drop_hook(packet)
+
+    def _start_service(self) -> None:
+        packet = self._buffer[0]
+        self._busy = True
+        service = packet.size / self.rate_pps
+        if self.jitter:
+            # Mean-preserving uniform jitter; FIFO order is inherent
+            # because there is a single server.
+            service *= 1.0 + self.jitter * (2.0 * self.sim.rng.random() - 1.0)
+        self.sim.schedule_in(service, self._complete)
+
+    def _complete(self) -> None:
+        packet = self._buffer.popleft()
+        self.departures += 1
+        self._busy = False
+        if self._buffer:
+            self._start_service()
+        packet.forward()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}({self.name!r}, rate={self.rate_pps:.0f}pps, "
+            f"occ={self.occupancy}/{self.capacity}, drops={self.drops})"
+        )
+
+
+class VariableRateQueue(DropTailQueue):
+    """Drop-tail queue whose service rate can change at run time.
+
+    Setting the rate to 0 models a coverage outage: arrivals are still
+    buffered (up to capacity) but nothing is served until the rate becomes
+    positive again.  The rate change takes effect from the next packet; the
+    packet currently in transmission completes at its old rate.
+    """
+
+    __slots__ = ("_stalled",)
+
+    def __init__(self, sim, rate_pps, capacity, name="", jitter=None):
+        # Allow constructing in the stalled state with rate 0.
+        stalled = rate_pps <= 0
+        super().__init__(
+            sim, rate_pps if not stalled else 1.0, capacity, name, jitter=jitter
+        )
+        self._stalled = stalled
+        if stalled:
+            self.rate_pps = 0.0
+
+    def set_rate(self, rate_pps: float) -> None:
+        """Change the service rate; 0 (or negative) stalls the queue."""
+        was_stalled = self._stalled
+        self._stalled = rate_pps <= 0
+        self.rate_pps = max(0.0, float(rate_pps))
+        if was_stalled and not self._stalled and self._buffer and not self._busy:
+            self._start_service()
+
+    def receive(self, packet: Packet) -> None:
+        self.arrivals += 1
+        if len(self._buffer) >= self.capacity:
+            self.drops += 1
+            self._drop(packet)
+            return
+        self._buffer.append(packet)
+        if not self._busy and not self._stalled:
+            self._start_service()
+
+    def _complete(self) -> None:
+        packet = self._buffer.popleft()
+        self.departures += 1
+        self._busy = False
+        if self._buffer and not self._stalled:
+            self._start_service()
+        packet.forward()

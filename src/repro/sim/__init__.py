@@ -1,0 +1,6 @@
+"""Discrete-event simulation engine."""
+
+from .engine import EventHandle, EventScheduler, SimulationError
+from .simulation import Simulation
+
+__all__ = ["EventHandle", "EventScheduler", "SimulationError", "Simulation"]

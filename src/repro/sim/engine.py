@@ -1,0 +1,176 @@
+"""Discrete-event scheduling engine.
+
+This is the substrate of the packet-level simulator: a priority queue of
+timestamped events.  Events scheduled for the same instant fire in the order
+they were scheduled (FIFO tie-breaking via a monotonically increasing
+sequence number), which keeps simulations deterministic.
+
+The engine is deliberately minimal and allocation-light: an event is a tuple
+``(time, seq, callback, argument)`` on a ``heapq``.  Cancellation is handled
+with a lazy tombstone set so that cancelling is O(1) and the cost is paid at
+pop time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+__all__ = ["EventScheduler", "EventHandle", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is used inconsistently (e.g. past-time event)."""
+
+
+class EventHandle:
+    """Handle to a scheduled event, allowing cancellation.
+
+    A handle stays valid after the event fires; cancelling a fired event is a
+    harmless no-op.
+    """
+
+    __slots__ = ("seq", "time", "_cancelled")
+
+    def __init__(self, seq: int, time: float):
+        self.seq = seq
+        self.time = time
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        return f"EventHandle(seq={self.seq}, time={self.time:.6f}, {state})"
+
+
+class EventScheduler:
+    """A deterministic discrete-event scheduler.
+
+    Typical use::
+
+        sched = EventScheduler()
+        sched.schedule_in(1.0, callback, arg)
+        sched.run_until(10.0)
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_events_run")
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._events_run = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        arg: Any = None,
+    ) -> EventHandle:
+        """Schedule ``callback(arg)`` (or ``callback()`` if arg is None) at
+        absolute simulated ``time``.
+
+        Raises :class:`SimulationError` if ``time`` is in the past.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time:.9f}, now is {self.now:.9f}"
+            )
+        handle = EventHandle(next(self._seq), time)
+        heapq.heappush(self._heap, (time, handle.seq, handle, callback, arg))
+        return handle
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        arg: Any = None,
+    ) -> EventHandle:
+        """Schedule an event ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule_at(self.now + delay, callback, arg)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if none remain."""
+        heap = self._heap
+        while heap:
+            time, _seq, handle, callback, arg = heapq.heappop(heap)
+            if handle._cancelled:
+                continue
+            self.now = time
+            self._events_run += 1
+            if arg is None:
+                callback()
+            else:
+                callback(arg)
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Run events in order until simulated time reaches ``end_time``.
+
+        The clock is left at exactly ``end_time`` (even if the last event was
+        earlier), so successive ``run_until`` calls compose naturally.
+        """
+        heap = self._heap
+        while heap:
+            time, _seq, handle, callback, arg = heap[0]
+            if time > end_time:
+                break
+            heapq.heappop(heap)
+            if handle._cancelled:
+                continue
+            self.now = time
+            self._events_run += 1
+            if arg is None:
+                callback()
+            else:
+                callback(arg)
+        if end_time > self.now:
+            self.now = end_time
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until no events remain (or ``max_events`` fired).
+
+        Returns the number of events executed.
+        """
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                break
+        return count
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled tombstones)."""
+        return len(self._heap)
+
+    @property
+    def events_run(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_run
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EventScheduler(now={self.now:.6f}, pending={self.pending}, "
+            f"run={self._events_run})"
+        )

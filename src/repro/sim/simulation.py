@@ -1,0 +1,72 @@
+"""Top-level simulation container.
+
+A :class:`Simulation` bundles the event scheduler with a seeded random number
+generator and a registry of components, so that an experiment is fully
+reproducible from ``(scenario, seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, List, Optional
+
+from .engine import EventScheduler
+
+__all__ = ["Simulation"]
+
+
+class Simulation:
+    """Event scheduler + seeded randomness + component registry.
+
+    All simulator components take a ``Simulation`` in their constructor and
+    use ``sim.scheduler`` for timing and ``sim.rng`` for randomness, so that
+    a run is a pure function of the scenario and the seed.
+    """
+
+    def __init__(self, seed: int = 1):
+        self.scheduler = EventScheduler()
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._components: List[Any] = []
+        self._at_end: List[Callable[[], None]] = []
+
+    # -- time ----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.scheduler.now
+
+    def schedule_at(self, time: float, callback, arg=None):
+        return self.scheduler.schedule_at(time, callback, arg)
+
+    def schedule_in(self, delay: float, callback, arg=None):
+        return self.scheduler.schedule_in(delay, callback, arg)
+
+    # -- components ------------------------------------------------------
+    def register(self, component: Any) -> Any:
+        """Track a component for introspection; returns it for chaining."""
+        self._components.append(component)
+        return component
+
+    @property
+    def components(self) -> List[Any]:
+        return list(self._components)
+
+    # -- running ---------------------------------------------------------
+    def run_until(self, end_time: float) -> None:
+        self.scheduler.run_until(end_time)
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        return self.scheduler.run(max_events=max_events)
+
+    def at_end(self, callback: Callable[[], None]) -> None:
+        """Register a callback invoked by :meth:`finish`."""
+        self._at_end.append(callback)
+
+    def finish(self) -> None:
+        """Invoke end-of-run callbacks (e.g. to flush metric samples)."""
+        for callback in self._at_end:
+            callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulation(seed={self.seed}, now={self.now:.3f})"

@@ -1,0 +1,16 @@
+"""Single-path TCP endpoints (NewReno-style loss recovery)."""
+
+from .receiver import TcpReceiver
+from .rtt import RttEstimator
+from .sender import TcpFlow, TcpSender
+from .source import FiniteSource, InfiniteSource, bytes_to_packets
+
+__all__ = [
+    "FiniteSource",
+    "InfiniteSource",
+    "RttEstimator",
+    "TcpFlow",
+    "TcpReceiver",
+    "TcpSender",
+    "bytes_to_packets",
+]

@@ -1,0 +1,72 @@
+"""Smoothed round-trip-time estimation and RTO computation (RFC 6298 style).
+
+The paper's algorithms use "a smoothed RTT estimator, computed similarly to
+TCP": an EWMA of samples with gain 1/8 plus a mean-deviation term with gain
+1/4, and RTO = SRTT + 4·RTTVAR clamped to a minimum.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["RttEstimator"]
+
+
+class RttEstimator:
+    """Classic SRTT/RTTVAR estimator with exponential RTO backoff."""
+
+    ALPHA = 0.125  # gain for SRTT
+    BETA = 0.25    # gain for RTTVAR
+
+    __slots__ = ("srtt", "rttvar", "min_rto", "max_rto", "initial_rto", "backoff")
+
+    def __init__(
+        self,
+        min_rto: float = 0.2,
+        max_rto: float = 60.0,
+        initial_rto: float = 1.0,
+    ):
+        if not 0 < min_rto <= max_rto:
+            raise ValueError("need 0 < min_rto <= max_rto")
+        self.srtt: Optional[float] = None
+        self.rttvar: float = 0.0
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.initial_rto = initial_rto
+        self.backoff = 1.0
+
+    def sample(self, rtt: float) -> None:
+        """Fold one RTT measurement into the estimate."""
+        if rtt <= 0:
+            raise ValueError(f"RTT sample must be positive, got {rtt!r}")
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            err = rtt - self.srtt
+            self.srtt += self.ALPHA * err
+            self.rttvar += self.BETA * (abs(err) - self.rttvar)
+        self.backoff = 1.0
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout, including backoff.
+
+        As in Linux, the variance term is floored at ``min_rto`` (so RTO >=
+        SRTT + min_rto): without the floor, RTTVAR decays to ~0 on a
+        constant-RTT path and any queueing jitter or recovery pause causes
+        a spurious timeout.
+        """
+        if self.srtt is None:
+            base = self.initial_rto
+        else:
+            base = self.srtt + max(4.0 * self.rttvar, self.min_rto)
+        return min(self.max_rto, max(self.min_rto, base) * self.backoff)
+
+    def back_off(self) -> None:
+        """Double the RTO after a timeout (capped by max_rto at read time)."""
+        self.backoff = min(self.backoff * 2.0, 64.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        srtt = f"{self.srtt * 1e3:.1f}ms" if self.srtt is not None else "None"
+        return f"RttEstimator(srtt={srtt}, rto={self.rto * 1e3:.0f}ms)"

@@ -1,0 +1,521 @@
+"""TCP sender: window-based transmission with SACK/NewReno loss recovery.
+
+The sender owns the machinery that is *common* to every algorithm in the
+paper — slow start, fast retransmit / fast recovery, retransmission
+timeouts, go-back-N after an RTO, RTT sampling — and delegates the window
+adaptation rules (the paper's contribution) to a
+:class:`~repro.core.base.CongestionController`:
+
+* congestion-avoidance increase → ``controller.on_ack(self)`` once per
+  newly acknowledged packet,
+* multiplicative decrease on a loss event (third duplicate ACK) →
+  ``controller.on_loss(self)``.
+
+Loss recovery follows a simplified RFC 6675 SACK scheme (matching the Linux
+2.6 stacks used in the paper's testbed): the sender keeps a scoreboard of
+SACKed sequence numbers, marks a hole lost once three SACKed packets lie
+above it, and during recovery keeps the pipe full with retransmissions
+first, then new data.  With ``enable_sack=False`` it degrades to classic
+NewReno (one hole recovered per RTT), which the ablation benchmarks compare.
+
+A multipath subflow subclasses this sender and plugs the connection-level
+data-sequence machinery into ``_acquire_payload`` / ``_process_ack_extras``.
+
+Sequence numbers count packets from 0; ``last_acked`` is the cumulative ACK
+(the next sequence number the receiver expects).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from ..core.base import CongestionController
+from ..net.packet import AckPacket, DataPacket
+from ..net.route import Route
+from ..sim.simulation import Simulation
+from ..utils.intervals import IntervalSet
+from .receiver import TcpReceiver
+from .rtt import RttEstimator
+from .source import InfiniteSource
+
+__all__ = ["TcpSender", "TcpFlow"]
+
+#: Duplicate-ACK threshold for fast retransmit (and SACK loss marking).
+DUP_THRESH = 3
+
+
+class TcpSender:
+    """One (sub)flow's sending side."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        controller: CongestionController,
+        source: Any = None,
+        name: str = "",
+        init_cwnd: float = 2.0,
+        min_cwnd: float = 1.0,
+        max_cwnd: float = 1e9,
+        min_rto: float = 0.2,
+        enable_sack: bool = True,
+    ):
+        self.sim = sim
+        self.controller = controller
+        self.source = source if source is not None else InfiniteSource()
+        self.name = name
+        self.enable_sack = enable_sack
+
+        # Window state (packets).
+        self.cwnd = float(init_cwnd)
+        self.init_cwnd = float(init_cwnd)
+        self.min_cwnd = float(min_cwnd)
+        self.max_cwnd = float(max_cwnd)
+        self.ssthresh = float("inf")
+
+        # Sequence state.
+        self.highest_sent = 0          # next sequence number to send
+        self.max_seq_sent = 0          # high-water mark (for go-back-N)
+        self.last_acked = 0            # cumulative ACK received
+        self.dup_acks = 0
+        self.in_recovery = False
+        self.recover_seq = 0
+
+        # SACK scoreboard.
+        self._sacked = IntervalSet()   # SACKed seqs above last_acked
+        self._lost: Set[int] = set()   # holes marked lost, not yet resent
+        self._rtx: Set[int] = set()    # holes resent this recovery episode
+
+        # Timing.
+        self.rtt = RttEstimator(min_rto=min_rto)
+        self._rtx_timer = None
+        self._timer_deadline: Optional[float] = None
+
+        # Wiring (set by attach()).
+        self._data_route: Optional[Tuple] = None
+        self._route: Optional[Route] = None
+
+        # Data-sequence mapping for multipath (seq -> dsn).
+        self._dsn_map: Dict[int, Optional[int]] = {}
+
+        # Statistics.
+        self.packets_sent = 0
+        self.retransmissions = 0
+        self.loss_events = 0
+        self.timeouts = 0
+
+        # Lifecycle.
+        self.running = False
+        self.completed = False
+        self.on_complete: Optional[Callable[["TcpSender"], None]] = None
+
+        controller.add_subflow(self)
+
+    # ------------------------------------------------------------------
+    # Properties used by controllers
+    # ------------------------------------------------------------------
+    @property
+    def srtt(self) -> Optional[float]:
+        """Smoothed RTT in seconds (None before the first sample)."""
+        return self.rtt.srtt
+
+    @property
+    def in_flight(self) -> int:
+        """Sequence-range in flight (not SACK-adjusted)."""
+        return self.highest_sent - self.last_acked
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    # ------------------------------------------------------------------
+    # Wiring and lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, route: Route, receiver: TcpReceiver) -> None:
+        """Bind this sender to a forward route and its receiver."""
+        self._route = route
+        self._data_route = route.forward_elements(receiver)
+        receiver.attach(route.reverse_elements(self))
+
+    @property
+    def route(self) -> Optional[Route]:
+        return self._route
+
+    def start(self, at: Optional[float] = None) -> None:
+        """Begin transmitting (now, or at absolute time ``at``)."""
+        if self._data_route is None:
+            raise RuntimeError(f"sender {self.name!r} not attached to a route")
+        if at is None or at <= self.sim.now:
+            self._begin()
+        else:
+            self.sim.schedule_at(at, self._begin)
+
+    def _begin(self) -> None:
+        self.running = True
+        self.maybe_send()
+
+    def stop(self) -> None:
+        """Stop transmitting and cancel the retransmission timer."""
+        self.running = False
+        self._cancel_timer()
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def effective_window(self) -> int:
+        """Usable window.  Without SACK, duplicate ACKs inflate it during
+        recovery (classic NewReno); with SACK the pipe rule governs."""
+        window = int(self.cwnd + 1e-9)
+        if self.in_recovery and not self.enable_sack:
+            window += self.dup_acks
+        return window
+
+    def _pipe(self) -> int:
+        """SACK pipe estimate: packets believed to be in the network."""
+        return (
+            self.in_flight - len(self._sacked) - len(self._lost) + len(self._rtx)
+        )
+
+    def maybe_send(self) -> None:
+        """Send as much as the window (or the SACK pipe rule) allows."""
+        if not self.running:
+            return
+        if self.in_recovery and self.enable_sack:
+            self._sack_recovery_send()
+        else:
+            self._window_send()
+        # Arm the timer if idle, but do not push an existing deadline out:
+        # only forward progress (a new cumulative ACK) may do that,
+        # otherwise a steady stream of duplicate ACKs would forever postpone
+        # the timeout that recovers a lost retransmission.
+        self._ensure_timer(reset=False)
+
+    def _window_send(self) -> None:
+        while self.in_flight < self.effective_window():
+            if not self._send_next():
+                break
+
+    def _sack_recovery_send(self) -> None:
+        window = int(self.cwnd + 1e-9)
+        while self._pipe() < window:
+            if self._lost:
+                seq = min(self._lost)
+                self._lost.discard(seq)
+                self._rtx.add(seq)
+                self._fast_retransmit(seq)
+            elif not self._send_next():
+                break
+
+    def _send_next(self) -> bool:
+        """Transmit the next packet at the send cursor.  Returns False when
+        no data is available (source exhausted / flow-control limited)."""
+        seq = self.highest_sent
+        if seq < self.max_seq_sent:
+            # Go-back-N territory after a timeout: resend old sequence
+            # numbers with their original payload mapping, skipping any the
+            # scoreboard says the receiver already holds.
+            if self.enable_sack and seq in self._sacked:
+                self.highest_sent = seq + 1
+                return True
+            self._transmit(seq, self._dsn_map.get(seq), is_retransmit=True)
+        else:
+            acquired, dsn = self._acquire_payload(seq)
+            if not acquired:
+                return False
+            self._dsn_map[seq] = dsn
+            self._transmit(seq, dsn, is_retransmit=False)
+            self.max_seq_sent = seq + 1
+        self.highest_sent = seq + 1
+        return True
+
+    def _acquire_payload(self, seq: int) -> Tuple[bool, Optional[int]]:
+        """Decide whether new data is available for sequence ``seq``.
+
+        Plain TCP consults its application source; multipath subflows
+        override this to pull the next data sequence number from the
+        connection (respecting connection-level flow control).
+        """
+        limit = self.source.limit
+        if limit is not None and seq >= limit:
+            return False, None
+        return True, None
+
+    def _transmit(self, seq: int, dsn: Optional[int], is_retransmit: bool) -> None:
+        packet = DataPacket(
+            self._data_route,
+            flow=self,
+            seq=seq,
+            timestamp=self.sim.now,
+            dsn=dsn,
+            is_retransmit=is_retransmit,
+        )
+        self.packets_sent += 1
+        if is_retransmit:
+            self.retransmissions += 1
+        packet.send()
+
+    def _fast_retransmit(self, seq: int) -> None:
+        """Resend one specific segment without touching highest_sent."""
+        self._transmit(seq, self._dsn_map.get(seq), is_retransmit=True)
+
+    # ------------------------------------------------------------------
+    # ACK processing
+    # ------------------------------------------------------------------
+    def receive(self, ack: AckPacket) -> None:
+        if not isinstance(ack, AckPacket):
+            raise TypeError(f"sender got non-ACK packet {ack!r}")
+        self._process_ack_extras(ack)
+        self._update_scoreboard(ack)
+        ackno = ack.ack_seq
+        if ackno > self.last_acked:
+            self._on_new_ack(ackno, ack)
+        elif ackno == self.last_acked and self.in_flight > 0:
+            self._on_dup_ack()
+        if self.in_recovery and self.enable_sack:
+            self._detect_losses()
+        self.maybe_send()
+
+    def _process_ack_extras(self, ack: AckPacket) -> None:
+        """Hook for multipath subflows: data ACK and receive window."""
+
+    def _update_scoreboard(self, ack: AckPacket) -> None:
+        if not self.enable_sack or not ack.sack_blocks:
+            return
+        for start, end in ack.sack_blocks:
+            if end > self.last_acked:
+                self._sacked.add(max(start, self.last_acked), end)
+        if self._lost:
+            self._lost = {s for s in self._lost if s not in self._sacked}
+        if self._rtx:
+            self._rtx = {s for s in self._rtx if s not in self._sacked}
+
+    def _on_new_ack(self, ackno: int, ack: AckPacket) -> None:
+        newly_acked = ackno - self.last_acked
+        self.rtt.sample(max(1e-9, self.sim.now - ack.echo_timestamp))
+        self._release_mappings(self.last_acked, ackno)
+        self.last_acked = ackno
+        if ackno > self.highest_sent:
+            # Can happen after a go-back-N rewind when in-flight copies of
+            # old segments arrive: fast-forward the send cursor.
+            self.highest_sent = ackno
+        self.dup_acks = 0
+        self._sacked.discard_below(ackno)
+        if self._lost:
+            self._lost = {s for s in self._lost if s >= ackno}
+        if self._rtx:
+            self._rtx = {s for s in self._rtx if s >= ackno}
+
+        if self.in_recovery:
+            if ackno >= self.recover_seq:
+                # Full ACK: recovery is over; deflate to ssthresh.
+                self.in_recovery = False
+                self._lost.clear()
+                self._rtx.clear()
+                self.cwnd = max(self.min_cwnd, min(self.cwnd, self.ssthresh))
+            else:
+                # Partial ACK (NewReno): the hole at the new cumulative ACK
+                # point was also lost.
+                if self.enable_sack:
+                    if ackno not in self._sacked and ackno not in self._rtx:
+                        self._lost.add(ackno)
+                else:
+                    self._fast_retransmit(ackno)
+        else:
+            self._grow_window(newly_acked)
+
+        self._ensure_timer(reset=True)
+        self._check_complete()
+
+    def _grow_window(self, newly_acked: int) -> None:
+        for _ in range(newly_acked):
+            if self.cwnd < self.ssthresh:
+                self.cwnd += 1.0  # slow start
+            else:
+                self.controller.on_ack(self)
+            if self.cwnd >= self.max_cwnd:
+                self.cwnd = self.max_cwnd
+                break
+
+    def _on_dup_ack(self) -> None:
+        self.dup_acks += 1
+        # The last_acked >= recover_seq guard is the NewReno "bugfix":
+        # duplicate ACKs left over from a finished recovery episode must not
+        # trigger a second window decrease for the same loss burst.
+        if (
+            self.dup_acks == DUP_THRESH
+            and not self.in_recovery
+            and self.last_acked >= self.recover_seq
+        ):
+            self._loss_event()
+
+    def _loss_event(self) -> None:
+        """Third duplicate ACK: one loss event (§2's 'each loss')."""
+        self.loss_events += 1
+        self.controller.on_loss(self)
+        self.ssthresh = max(self.cwnd, self.min_cwnd)
+        self.recover_seq = self.highest_sent
+        self.in_recovery = True
+        self._lost.clear()
+        self._rtx.clear()
+        self._rtx.add(self.last_acked)
+        self._fast_retransmit(self.last_acked)
+
+    def _detect_losses(self) -> None:
+        """Mark holes lost once >= DUP_THRESH SACKed packets lie above them
+        (the RFC 6675 IsLost rule, simplified)."""
+        if not self._sacked:
+            return
+        # Find the DUP_THRESH-th highest SACKed sequence number; every
+        # unSACKed hole below it is deemed lost.
+        need = DUP_THRESH
+        cutoff = self.last_acked
+        for start, end in reversed(list(self._sacked.intervals())):
+            size = end - start
+            if size >= need:
+                cutoff = end - need
+                break
+            need -= size
+        if cutoff <= self.last_acked:
+            return
+        pos = self.last_acked
+        for start, end in self._sacked.intervals():
+            if end <= pos:
+                continue
+            if start >= cutoff:
+                break
+            for seq in range(pos, min(start, cutoff)):
+                if seq not in self._rtx:
+                    self._lost.add(seq)
+            pos = max(pos, end)
+            if pos >= cutoff:
+                break
+        for seq in range(pos, cutoff):
+            if seq not in self._rtx:
+                self._lost.add(seq)
+
+    def _release_mappings(self, lo: int, hi: int) -> None:
+        for seq in range(lo, hi):
+            self._dsn_map.pop(seq, None)
+
+    def _check_complete(self) -> None:
+        limit = self.source.limit
+        if limit is not None and self.last_acked >= limit and not self.completed:
+            self.completed = True
+            self.running = False
+            self._cancel_timer()
+            if self.on_complete is not None:
+                self.on_complete(self)
+
+    # ------------------------------------------------------------------
+    # Retransmission timer
+    # ------------------------------------------------------------------
+    def _ensure_timer(self, reset: bool = True) -> None:
+        """Lazily (re)arm the RTO timer.
+
+        Rather than cancelling and rescheduling a heap event on every ACK,
+        we only track the logical deadline; when the scheduled event fires
+        early relative to it (because progress pushed the deadline out), it
+        re-arms itself for the remainder.  With ``reset=False`` an existing
+        deadline is left alone (used on sends and duplicate ACKs, which are
+        not forward progress).
+        """
+        if self.in_flight > 0 and self.running:
+            if reset or self._timer_deadline is None:
+                self._timer_deadline = self.sim.now + self.rtt.rto
+            if self._rtx_timer is None:
+                self._rtx_timer = self.sim.schedule_at(
+                    self._timer_deadline, self._on_timer_fire
+                )
+        else:
+            self._timer_deadline = None
+
+    def _cancel_timer(self) -> None:
+        self._timer_deadline = None
+        if self._rtx_timer is not None:
+            self._rtx_timer.cancel()
+            self._rtx_timer = None
+
+    def _on_timer_fire(self) -> None:
+        self._rtx_timer = None
+        if (
+            self._timer_deadline is None
+            or self.in_flight == 0
+            or not self.running
+        ):
+            return
+        if self.sim.now < self._timer_deadline - 1e-12:
+            # Progress since this event was scheduled: sleep the remainder.
+            self._rtx_timer = self.sim.schedule_at(
+                self._timer_deadline, self._on_timer_fire
+            )
+            return
+        self._on_timeout()
+
+    def _on_timeout(self) -> None:
+        """RTO: collapse to one packet, back off, go-back-N."""
+        self.timeouts += 1
+        self.rtt.back_off()
+        # Clear the stale deadline so maybe_send() arms a fresh timer with
+        # the backed-off RTO (leaving it would re-fire at the same instant).
+        self._timer_deadline = None
+        self.controller.on_timeout(self)
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = self.min_cwnd
+        self.in_recovery = False
+        self.dup_acks = 0
+        self._lost.clear()
+        self._rtx.clear()
+        # Go-back-N: rewind the send cursor; old sequence numbers will be
+        # resent (with their original payload mapping) as the window opens,
+        # skipping anything the SACK scoreboard shows as received.
+        self.highest_sent = self.last_acked
+        self.maybe_send()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TcpSender({self.name!r}, cwnd={self.cwnd:.1f}, "
+            f"acked={self.last_acked}, inflight={self.in_flight})"
+        )
+
+
+class TcpFlow:
+    """Convenience wrapper: a single-path TCP sender/receiver pair on a route.
+
+    >>> flow = TcpFlow(sim, route, make_controller("reno"), name="f1")
+    >>> flow.start()
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        route: Route,
+        controller: CongestionController,
+        source: Any = None,
+        name: str = "flow",
+        enable_sack: bool = True,
+        **sender_kwargs,
+    ):
+        self.sim = sim
+        self.name = name
+        self.sender = TcpSender(
+            sim,
+            controller,
+            source=source,
+            name=name,
+            enable_sack=enable_sack,
+            **sender_kwargs,
+        )
+        self.receiver = TcpReceiver(sim, name=f"{name}.rx", enable_sack=enable_sack)
+        self.sender.attach(route, self.receiver)
+
+    def start(self, at: Optional[float] = None) -> None:
+        self.sender.start(at=at)
+
+    def stop(self) -> None:
+        self.sender.stop()
+
+    @property
+    def packets_delivered(self) -> int:
+        return self.receiver.packets_delivered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TcpFlow({self.name!r})"

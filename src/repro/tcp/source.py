@@ -1,0 +1,48 @@
+"""Application data sources feeding TCP senders.
+
+A source answers one question — is there more data to send? — in packets.
+``InfiniteSource`` models the long-lived flows used throughout the paper's
+evaluation; ``FiniteSource`` models file transfers (the Poisson workload of
+§3 with Pareto sizes) and reports completion.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..net.packet import MSS_BYTES
+
+__all__ = ["InfiniteSource", "FiniteSource", "bytes_to_packets"]
+
+
+def bytes_to_packets(nbytes: float, mss_bytes: int = MSS_BYTES) -> int:
+    """Number of full-sized packets needed to carry ``nbytes``."""
+    if nbytes <= 0:
+        raise ValueError(f"transfer size must be positive, got {nbytes!r}")
+    return max(1, math.ceil(nbytes / mss_bytes))
+
+
+class InfiniteSource:
+    """Always has more data (a long-lived, backlogged flow)."""
+
+    limit: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "InfiniteSource()"
+
+
+class FiniteSource:
+    """A file transfer of a fixed number of packets."""
+
+    def __init__(self, packets: int):
+        if packets < 1:
+            raise ValueError(f"need at least one packet, got {packets!r}")
+        self.limit: Optional[int] = int(packets)
+
+    @classmethod
+    def from_bytes(cls, nbytes: float, mss_bytes: int = MSS_BYTES) -> "FiniteSource":
+        return cls(bytes_to_packets(nbytes, mss_bytes))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FiniteSource(packets={self.limit})"

@@ -1,0 +1,33 @@
+"""Topology builders for every scenario in the paper's evaluation."""
+
+from .bcube import BCube
+from .fattree import FatTree
+from .scenarios import (
+    Scenario,
+    build_chain,
+    build_shared_bottleneck,
+    build_torus,
+    build_triangle,
+    build_two_links,
+)
+from .wireless import (
+    LinkSchedule,
+    WirelessPath,
+    build_3g_path,
+    build_wifi_path,
+)
+
+__all__ = [
+    "BCube",
+    "FatTree",
+    "LinkSchedule",
+    "Scenario",
+    "WirelessPath",
+    "build_3g_path",
+    "build_chain",
+    "build_shared_bottleneck",
+    "build_torus",
+    "build_triangle",
+    "build_two_links",
+    "build_wifi_path",
+]

@@ -1,0 +1,186 @@
+"""The small illustrative scenarios of §2–§3 (Figs 1, 2, 3, 5, 7, 9, 14).
+
+Each builder returns a :class:`Scenario` holding the network and the routes
+each flow may use; benchmark and test code attaches flows to the routes.
+Link rates are in packets/second (use :func:`repro.net.mbps_to_pps` for
+Mb/s figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..net.network import Network
+from ..net.route import Route
+from ..sim.simulation import Simulation
+
+__all__ = [
+    "Scenario",
+    "build_shared_bottleneck",
+    "build_two_links",
+    "build_triangle",
+    "build_chain",
+    "build_torus",
+]
+
+
+@dataclass
+class Scenario:
+    """A built topology: the network plus named route sets.
+
+    ``flow_routes`` maps a flow name to the list of routes available to it
+    (length 1 for single-path flows).
+    """
+
+    sim: Simulation
+    net: Network
+    flow_routes: Dict[str, List[Route]] = field(default_factory=dict)
+
+    def routes(self, flow: str) -> List[Route]:
+        return self.flow_routes[flow]
+
+
+def build_shared_bottleneck(
+    sim: Simulation,
+    rate_pps: float = 1000.0,
+    delay: float = 0.05,
+    buffer_pkts: int = 100,
+    subflows: int = 2,
+) -> Scenario:
+    """Fig 1: one bottleneck link shared by a single-path TCP and a
+    multipath flow whose ``subflows`` paths all cross the same bottleneck.
+
+    The fairness question of §2.1: running regular TCP on each subflow
+    would grab ``subflows`` times the single-path flow's share.
+    """
+    net = Network(sim)
+    net.add_link("src", "dst", rate_pps, delay, buffer_pkts)
+    single = [net.route(["src", "dst"], name="single")]
+    multi = [
+        net.route(["src", "dst"], name=f"multi.{i}") for i in range(subflows)
+    ]
+    return Scenario(sim, net, {"single": single, "multi": multi})
+
+
+def build_two_links(
+    sim: Simulation,
+    rate1_pps: float,
+    rate2_pps: float,
+    delay1: float = 0.005,
+    delay2: float = 0.005,
+    buffer1_pkts: int = 50,
+    buffer2_pkts: int = 50,
+) -> Scenario:
+    """Figs 5/9/14: two parallel bottleneck links.
+
+    Single-path flows use ``link1``/``link2``; a multipath flow uses both.
+    This is the shape of the dynamic-load scenario (§2.4/§3), the server
+    load-balancing testbed (Fig 10) and the wireless-client topology
+    (Fig 14).
+    """
+    net = Network(sim)
+    net.add_link("s1", "d1", rate1_pps, delay1, buffer1_pkts)
+    net.add_link("s2", "d2", rate2_pps, delay2, buffer2_pkts)
+    return Scenario(
+        sim,
+        net,
+        {
+            "link1": [net.route(["s1", "d1"], name="link1")],
+            "link2": [net.route(["s2", "d2"], name="link2")],
+            "multi": [
+                net.route(["s1", "d1"], name="multi.1"),
+                net.route(["s2", "d2"], name="multi.2"),
+            ],
+        },
+    )
+
+
+def build_triangle(
+    sim: Simulation,
+    rate_pps: float = 1000.0,
+    delay: float = 0.05,
+    buffer_pkts: int = 100,
+) -> Scenario:
+    """Fig 2: three equal links in a ring; flow i has a one-hop path over
+    link i and a two-hop path over links i+1, i+2.
+
+    With an even split every link carries three subflows (one one-hop, two
+    two-hop) so each subflow gets C/3 and each flow 2C/3; using only the
+    one-hop paths each flow gets the full C.  An efficient multipath
+    algorithm must concentrate on the one-hop (less congested) paths.
+    """
+    net = Network(sim)
+    for i in range(3):
+        net.add_link(f"in{i}", f"out{i}", rate_pps, delay, buffer_pkts)
+        # Wire link exits to the next link's entry so two-hop paths exist.
+        net.add_link(f"out{i}", f"in{(i + 1) % 3}", rate_pps * 100, 0.0, 10**6)
+    flow_routes = {}
+    for i in range(3):
+        short = net.route([f"in{i}", f"out{i}"], name=f"f{i}.short")
+        j, k = (i + 1) % 3, (i + 2) % 3
+        long = net.route(
+            [f"in{j}", f"out{j}", f"in{k}", f"out{k}"], name=f"f{i}.long"
+        )
+        flow_routes[f"f{i}"] = [short, long]
+    return Scenario(sim, net, flow_routes)
+
+
+def build_chain(
+    sim: Simulation,
+    rates_pps: List[float],
+    delay: float = 0.05,
+    buffer_pkts: int = 100,
+) -> Scenario:
+    """Fig 3: a chain of links where consecutive flows share a link.
+
+    ``rates_pps`` gives the capacities of the n links; there are n-1 flows,
+    flow i using single-hop paths over links i and i+1.  The paper's
+    instance has capacities 5/12/10/3 Mb/s: EWTCP yields totals (11, 11, 8)
+    Mb/s whereas COUPLED equalises everything at 10 Mb/s.
+    """
+    if len(rates_pps) < 2:
+        raise ValueError("chain needs at least two links")
+    net = Network(sim)
+    for i, rate in enumerate(rates_pps):
+        net.add_link(f"in{i}", f"out{i}", rate, delay, buffer_pkts)
+    flow_routes = {}
+    for i in range(len(rates_pps) - 1):
+        flow_routes[f"f{i}"] = [
+            net.route([f"in{i}", f"out{i}"], name=f"f{i}.a"),
+            net.route([f"in{i + 1}", f"out{i + 1}"], name=f"f{i}.b"),
+        ]
+    return Scenario(sim, net, flow_routes)
+
+
+def build_torus(
+    sim: Simulation,
+    rates_pps: List[float],
+    delay: float = 0.05,
+    buffer_pkts: int = None,
+) -> Scenario:
+    """Fig 7: n bottleneck links in a ring ("torus"); flow i's two paths
+    cross links i and (i+1) mod n, so each link serves two multipath flows.
+
+    The paper uses five links with 100 ms RTT and one bandwidth-delay
+    product of buffering; link C's capacity is varied to test how well
+    congestion is balanced (Fig 8).  ``buffer_pkts=None`` sizes each buffer
+    at one BDP of its own link.
+    """
+    n = len(rates_pps)
+    if n < 3:
+        raise ValueError("torus needs at least three links")
+    net = Network(sim)
+    for i, rate in enumerate(rates_pps):
+        buf = buffer_pkts
+        if buf is None:
+            buf = max(2, int(rate * 2 * delay))  # one BDP of this link
+        net.add_link(f"in{i}", f"out{i}", rate, delay, buf)
+    flow_routes = {}
+    for i in range(n):
+        j = (i + 1) % n
+        flow_routes[f"f{i}"] = [
+            net.route([f"in{i}", f"out{i}"], name=f"f{i}.a"),
+            net.route([f"in{j}", f"out{j}"], name=f"f{i}.b"),
+        ]
+    return Scenario(sim, net, flow_routes)

@@ -1,0 +1,134 @@
+"""The wireless-client scenarios of §5: WiFi + 3G paths, and the mobile
+walk of Fig 17.
+
+The paper's measurements (§2.3, §5) characterise the two media:
+
+* **WiFi**: high rate (14.4 Mb/s in the static tests), short RTT (~10 ms),
+  but lossy (~1–4 % from 2.4 GHz interference) and *underbuffered* ("it
+  seems that the WiFi basestation is underbuffered").
+* **3G**: low rate (2.1 Mb/s), *overbuffered* ("RTTs of well over a
+  second"), very low ambient loss.
+
+We model each as an access-link queue (variable-rate, so coverage changes
+can be scripted) followed by a lossy pipe for ambient radio loss.  The
+mobile experiment (Fig 17) is reproduced by a :class:`LinkSchedule` that
+replays capacity changes — e.g. WiFi dropping to zero on the stairwell —
+against the queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..net.network import mbps_to_pps
+from ..net.pipe import LossyPipe
+from ..net.queue import VariableRateQueue
+from ..net.route import Route
+from ..sim.simulation import Simulation
+
+__all__ = ["WirelessPath", "build_wifi_path", "build_3g_path", "LinkSchedule"]
+
+
+@dataclass
+class WirelessPath:
+    """One wireless access path: its queue, ambient-loss pipe and route."""
+
+    queue: VariableRateQueue
+    pipe: LossyPipe
+    route_template: Tuple[VariableRateQueue, LossyPipe]
+    reverse_delay: float
+    sim: Simulation
+    name: str
+
+    def route(self, name: str = "") -> Route:
+        """A fresh Route over this path (flows sharing the path share the
+        queue and pipe, as they share the physical medium)."""
+        return Route(
+            self.sim,
+            list(self.route_template),
+            reverse_delay=self.reverse_delay,
+            name=name or self.name,
+        )
+
+    def set_rate_mbps(self, mbps: float) -> None:
+        self.queue.set_rate(mbps_to_pps(mbps))
+
+
+def _build_path(
+    sim: Simulation,
+    rate_mbps: float,
+    one_way_delay: float,
+    buffer_pkts: int,
+    loss_prob: float,
+    name: str,
+) -> WirelessPath:
+    queue = VariableRateQueue(
+        sim, mbps_to_pps(rate_mbps), buffer_pkts, name=f"{name}.q"
+    )
+    pipe = LossyPipe(sim, one_way_delay, loss_prob, name=f"{name}.pipe")
+    return WirelessPath(
+        queue=queue,
+        pipe=pipe,
+        route_template=(queue, pipe),
+        reverse_delay=one_way_delay,
+        sim=sim,
+        name=name,
+    )
+
+
+def build_wifi_path(
+    sim: Simulation,
+    rate_mbps: float = 14.4,
+    rtt_floor: float = 0.010,
+    buffer_pkts: int = 20,
+    loss_prob: float = 0.01,
+    name: str = "wifi",
+) -> WirelessPath:
+    """A WiFi access path: fast, short-RTT, underbuffered, lossy (§5)."""
+    return _build_path(
+        sim, rate_mbps, rtt_floor / 2.0, buffer_pkts, loss_prob, name
+    )
+
+
+def build_3g_path(
+    sim: Simulation,
+    rate_mbps: float = 2.1,
+    rtt_floor: float = 0.100,
+    buffer_pkts: int = 300,
+    loss_prob: float = 0.0,
+    name: str = "3g",
+) -> WirelessPath:
+    """A 3G access path: slow, overbuffered (full buffer => RTT well over a
+    second: 300 pkts / 175 pkt/s ≈ 1.7 s), nearly loss-free (§5)."""
+    return _build_path(
+        sim, rate_mbps, rtt_floor / 2.0, buffer_pkts, loss_prob, name
+    )
+
+
+class LinkSchedule:
+    """Replays scripted capacity changes against wireless paths (Fig 17).
+
+    Each event is ``(time, path, rate_mbps)``; a rate of 0 models a
+    coverage outage (the stairwell with no WiFi).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        events: Sequence[Tuple[float, WirelessPath, float]],
+    ):
+        self.sim = sim
+        self.events: List[Tuple[float, WirelessPath, float]] = sorted(
+            events, key=lambda e: e[0]
+        )
+        self.applied = 0
+
+    def start(self) -> None:
+        for time, path, mbps in self.events:
+            self.sim.schedule_at(time, self._apply, (path, mbps))
+
+    def _apply(self, event: Tuple[WirelessPath, float]) -> None:
+        path, mbps = event
+        path.set_rate_mbps(mbps)
+        self.applied += 1

@@ -1,0 +1,23 @@
+"""Workload generators: long-lived flows, bursty CBR, Poisson file
+transfers and the §4 data-center traffic matrices."""
+
+from .cbr import CbrSource, OnOffCbrSource, PacketSink
+from .matrix import (
+    one_digit_neighbors,
+    one_to_many_matrix,
+    permutation_matrix,
+    sparse_matrix,
+)
+from .poisson import ParetoSizes, PoissonFlowGenerator
+
+__all__ = [
+    "CbrSource",
+    "OnOffCbrSource",
+    "PacketSink",
+    "ParetoSizes",
+    "PoissonFlowGenerator",
+    "one_digit_neighbors",
+    "one_to_many_matrix",
+    "permutation_matrix",
+    "sparse_matrix",
+]

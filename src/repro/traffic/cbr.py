@@ -1,0 +1,138 @@
+"""Constant-bit-rate and bursty on/off sources (Fig 9).
+
+The dynamic-load scenario of §2.4/§3 places a bursty CBR flow on one link:
+"an additional bursty CBR flow which sends at 100 Mb/s for a random
+duration of mean 10 ms, then is quiet for a random duration of mean
+100 ms".  :class:`OnOffCbrSource` reproduces that: exponential on/off
+periods, full-rate transmission while on, no congestion response.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..net.packet import DataPacket, Packet
+from ..net.route import Route
+from ..sim.simulation import Simulation
+
+__all__ = ["PacketSink", "CbrSource", "OnOffCbrSource"]
+
+
+class PacketSink:
+    """Terminal endpoint that counts arriving packets (no ACKs)."""
+
+    def __init__(self, name: str = "sink"):
+        self.name = name
+        self.packets_received = 0
+
+    def receive(self, packet: Packet) -> None:
+        self.packets_received += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PacketSink({self.name!r}, received={self.packets_received})"
+
+
+class CbrSource:
+    """Sends full-sized packets at a constant rate, unconditionally."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        route: Route,
+        rate_pps: float,
+        name: str = "cbr",
+        sink: Optional[PacketSink] = None,
+    ):
+        if rate_pps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_pps!r}")
+        self.sim = sim
+        self.rate_pps = float(rate_pps)
+        self.name = name
+        self.sink = sink if sink is not None else PacketSink(f"{name}.sink")
+        self._route_elements: Tuple = route.forward_elements(self.sink)
+        self.packets_sent = 0
+        self.running = False
+        self._next_seq = 0
+
+    def start(self, at: Optional[float] = None) -> None:
+        if at is None or at <= self.sim.now:
+            self._begin()
+        else:
+            self.sim.schedule_at(at, self._begin)
+
+    def _begin(self) -> None:
+        self.running = True
+        self._send_tick()
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _send_tick(self) -> None:
+        if not self.running:
+            return
+        packet = DataPacket(
+            self._route_elements,
+            flow=self,
+            seq=self._next_seq,
+            timestamp=self.sim.now,
+        )
+        self._next_seq += 1
+        self.packets_sent += 1
+        packet.send()
+        self.sim.schedule_in(1.0 / self.rate_pps, self._send_tick)
+
+
+class OnOffCbrSource(CbrSource):
+    """CBR with exponential on/off periods (the Fig 9 burst generator)."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        route: Route,
+        rate_pps: float,
+        mean_on: float = 0.010,
+        mean_off: float = 0.100,
+        name: str = "onoff",
+        sink: Optional[PacketSink] = None,
+    ):
+        super().__init__(sim, route, rate_pps, name=name, sink=sink)
+        if mean_on <= 0 or mean_off <= 0:
+            raise ValueError("on/off means must be positive")
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+        self._transmitting = False
+        self.on_periods = 0
+
+    def _begin(self) -> None:
+        self.running = True
+        self._enter_on()
+
+    def _enter_on(self) -> None:
+        if not self.running:
+            return
+        self._transmitting = True
+        self.on_periods += 1
+        self._burst_tick()
+        duration = self.sim.rng.expovariate(1.0 / self.mean_on)
+        self.sim.schedule_in(duration, self._enter_off)
+
+    def _enter_off(self) -> None:
+        self._transmitting = False
+        if not self.running:
+            return
+        duration = self.sim.rng.expovariate(1.0 / self.mean_off)
+        self.sim.schedule_in(duration, self._enter_on)
+
+    def _burst_tick(self) -> None:
+        if not self.running or not self._transmitting:
+            return
+        packet = DataPacket(
+            self._route_elements,
+            flow=self,
+            seq=self._next_seq,
+            timestamp=self.sim.now,
+        )
+        self._next_seq += 1
+        self.packets_sent += 1
+        packet.send()
+        self.sim.schedule_in(1.0 / self.rate_pps, self._burst_tick)

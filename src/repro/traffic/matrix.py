@@ -1,0 +1,106 @@
+"""The data-center traffic patterns of §4.
+
+* **TP1** — random permutation: every host sends to one destination and
+  receives exactly one flow ("the least amount of traffic that can fully
+  utilize the network").
+* **TP2** — one-to-many replication, 12 flows per host: random destinations
+  in FatTree; in BCube "the destinations are the host's neighbors in the
+  three levels" (the 12 hosts differing in exactly one address digit).
+* **TP3** — sparse: 30 % of hosts open one flow to a random destination.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "permutation_matrix",
+    "one_to_many_matrix",
+    "sparse_matrix",
+    "one_digit_neighbors",
+]
+
+Pair = Tuple[str, str]
+
+
+def permutation_matrix(hosts: Sequence[str], rng: random.Random) -> List[Pair]:
+    """TP1: a uniform random permutation with no host sending to itself."""
+    if len(hosts) < 2:
+        raise ValueError("need at least two hosts")
+    destinations = list(hosts)
+    # Re-shuffle until derangement; expected ~e tries.
+    while True:
+        rng.shuffle(destinations)
+        if all(s != d for s, d in zip(hosts, destinations)):
+            break
+    return list(zip(hosts, destinations))
+
+
+def one_to_many_matrix(
+    hosts: Sequence[str],
+    rng: random.Random,
+    fanout: int = 12,
+    neighbor_sets: dict = None,
+) -> List[Pair]:
+    """TP2: every host opens ``fanout`` flows.
+
+    ``neighbor_sets`` maps host -> candidate destinations (BCube's
+    one-digit neighbours); when None, destinations are sampled uniformly
+    from the other hosts (FatTree).
+    """
+    if len(hosts) < 2:
+        raise ValueError("need at least two hosts")
+    pairs: List[Pair] = []
+    for src in hosts:
+        if neighbor_sets is not None:
+            candidates = list(neighbor_sets[src])
+        else:
+            candidates = [h for h in hosts if h != src]
+        count = min(fanout, len(candidates))
+        for dst in rng.sample(candidates, count):
+            pairs.append((src, dst))
+    return pairs
+
+
+def sparse_matrix(
+    hosts: Sequence[str], rng: random.Random, fraction: float = 0.30
+) -> List[Pair]:
+    """TP3: ``fraction`` of hosts open one flow to a random destination.
+
+    Destinations are sampled without replacement (each host receives at
+    most one flow): the paper's TP3 multipath results (~99 % of the NIC)
+    are only reachable when destination NICs are not shared by chance.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction!r}")
+    count = max(1, round(fraction * len(hosts)))
+    senders = rng.sample(list(hosts), count)
+    available = [h for h in hosts]
+    rng.shuffle(available)
+    pairs = []
+    for src in senders:
+        for index, dst in enumerate(available):
+            if dst != src:
+                pairs.append((src, dst))
+                available.pop(index)
+                break
+    return pairs
+
+
+def one_digit_neighbors(bcube) -> dict:
+    """BCube TP2 destination sets: all hosts differing in exactly one
+    address digit ( (k+1)·(n-1) of them per host )."""
+    result = {}
+    for host in bcube.hosts:
+        digits = bcube.host_digits(host)
+        neighbors = []
+        for level in range(bcube.k + 1):
+            for digit in range(bcube.n):
+                if digit == digits[level]:
+                    continue
+                other = list(digits)
+                other[level] = digit
+                neighbors.append(bcube._host_name(tuple(other)))
+        result[host] = neighbors
+    return result

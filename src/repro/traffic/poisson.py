@@ -1,0 +1,130 @@
+"""Poisson flow arrivals with Pareto-distributed sizes (§3).
+
+The second server-load-balancing experiment: "Poisson arrivals of TCP flows
+with rate alternating between 10/s (light load) and 60/s (heavy load), with
+file sizes drawn from a Pareto distribution with mean 200 kB".
+
+:class:`PoissonFlowGenerator` spawns short-lived single-path TCP flows on a
+route, each carrying a Pareto-sized file, and recycles them on completion.
+The arrival rate follows a square-wave schedule between a light and a heavy
+rate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..core.uncoupled import RenoController
+from ..net.route import Route
+from ..sim.simulation import Simulation
+from ..tcp.sender import TcpFlow
+from ..tcp.source import FiniteSource
+
+__all__ = ["ParetoSizes", "PoissonFlowGenerator"]
+
+
+class ParetoSizes:
+    """Pareto file-size sampler parameterised by its mean.
+
+    shape alpha > 1; scale is derived so the mean matches:
+    mean = alpha * xm / (alpha - 1)  =>  xm = mean * (alpha - 1) / alpha.
+    """
+
+    def __init__(self, mean_bytes: float = 200_000.0, alpha: float = 1.5):
+        if alpha <= 1.0:
+            raise ValueError(f"Pareto alpha must be > 1, got {alpha!r}")
+        if mean_bytes <= 0:
+            raise ValueError(f"mean must be positive, got {mean_bytes!r}")
+        self.alpha = alpha
+        self.xm = mean_bytes * (alpha - 1.0) / alpha
+        self.mean_bytes = mean_bytes
+
+    def sample(self, rng) -> float:
+        """One file size in bytes."""
+        return self.xm * rng.paretovariate(self.alpha)
+
+
+class PoissonFlowGenerator:
+    """Spawns finite TCP flows by a (time-varying) Poisson process."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        route_factory: Callable[[int], Route],
+        light_rate: float = 10.0,
+        heavy_rate: float = 60.0,
+        period: float = 10.0,
+        sizes: Optional[ParetoSizes] = None,
+        name: str = "poisson",
+        max_concurrent: int = 2000,
+    ):
+        """``route_factory(i)`` returns the route for the i-th flow (routes
+        may be shared; each flow gets fresh endpoints).  The arrival rate
+        alternates light/heavy every ``period`` seconds."""
+        self.sim = sim
+        self.route_factory = route_factory
+        self.light_rate = light_rate
+        self.heavy_rate = heavy_rate
+        self.period = period
+        self.sizes = sizes if sizes is not None else ParetoSizes()
+        self.name = name
+        self.max_concurrent = max_concurrent
+        self.arrivals = 0
+        self.completions = 0
+        self.active: List[TcpFlow] = []
+        self.running = False
+
+    # ------------------------------------------------------------------
+    def current_rate(self) -> float:
+        """Arrival rate now: heavy during odd periods, light during even."""
+        phase = int(self.sim.now / self.period) % 2
+        return self.heavy_rate if phase else self.light_rate
+
+    def start(self) -> None:
+        self.running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _schedule_next(self) -> None:
+        if not self.running:
+            return
+        # Sample against the current rate; rates change slowly relative to
+        # inter-arrival gaps so this is an adequate thinning-free scheme.
+        gap = self.sim.rng.expovariate(self.current_rate())
+        self.sim.schedule_in(gap, self._arrival)
+
+    def _arrival(self) -> None:
+        if not self.running:
+            return
+        self._schedule_next()
+        if len(self.active) >= self.max_concurrent:
+            return  # overload guard: drop the arrival
+        self.arrivals += 1
+        index = self.arrivals
+        size = self.sizes.sample(self.sim.rng)
+        source = FiniteSource.from_bytes(size)
+        flow = TcpFlow(
+            self.sim,
+            self.route_factory(index),
+            RenoController(),
+            source=source,
+            name=f"{self.name}.{index}",
+        )
+        flow.sender.on_complete = lambda _s, f=flow: self._completed(f)
+        self.active.append(flow)
+        flow.start()
+
+    def _completed(self, flow: TcpFlow) -> None:
+        self.completions += 1
+        try:
+            self.active.remove(flow)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PoissonFlowGenerator({self.name!r}, arrivals={self.arrivals}, "
+            f"active={len(self.active)})"
+        )

@@ -1,0 +1,5 @@
+"""Small shared utilities."""
+
+from .intervals import IntervalSet
+
+__all__ = ["IntervalSet"]

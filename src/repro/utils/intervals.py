@@ -1,0 +1,108 @@
+"""Disjoint integer interval sets.
+
+Used for SACK bookkeeping on both sides of a TCP connection: the receiver
+tracks the out-of-order sequence ranges it holds (to generate SACK blocks),
+and the sender keeps the scoreboard of SACKed sequence numbers.
+
+Intervals are half-open ``[start, end)`` over integers, kept sorted and
+non-adjacent (touching intervals are merged).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterator, List, Tuple
+
+__all__ = ["IntervalSet"]
+
+
+class IntervalSet:
+    """A sorted set of disjoint half-open integer intervals."""
+
+    __slots__ = ("_starts", "_ends", "_count")
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+        self._ends: List[int] = []
+        self._count = 0  # total integers covered
+
+    # ------------------------------------------------------------------
+    def add(self, start: int, end: int = None) -> None:
+        """Insert ``[start, end)`` (a single point if ``end`` is omitted),
+        merging with any overlapping or adjacent intervals."""
+        if end is None:
+            end = start + 1
+        if end <= start:
+            raise ValueError(f"empty interval [{start}, {end})")
+        starts, ends = self._starts, self._ends
+        # Find all intervals that overlap or touch [start, end).
+        lo = bisect_left(ends, start)          # first with end >= start
+        hi = bisect_right(starts, end)         # last with start <= end
+        if lo < hi:
+            start = min(start, starts[lo])
+            end = max(end, ends[hi - 1])
+            removed = sum(ends[i] - starts[i] for i in range(lo, hi))
+            del starts[lo:hi]
+            del ends[lo:hi]
+            self._count -= removed
+        starts.insert(lo, start)
+        ends.insert(lo, end)
+        self._count += end - start
+
+    def discard_below(self, cutoff: int) -> None:
+        """Remove all integers < ``cutoff`` (cumulative-ACK advance)."""
+        starts, ends = self._starts, self._ends
+        idx = bisect_right(ends, cutoff)  # intervals entirely below cutoff
+        if idx:
+            self._count -= sum(ends[i] - starts[i] for i in range(idx))
+            del starts[:idx]
+            del ends[:idx]
+        if starts and starts[0] < cutoff:
+            self._count -= cutoff - starts[0]
+            starts[0] = cutoff
+
+    def clear(self) -> None:
+        self._starts.clear()
+        self._ends.clear()
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    def __contains__(self, value: int) -> bool:
+        idx = bisect_right(self._starts, value) - 1
+        return idx >= 0 and value < self._ends[idx]
+
+    def __len__(self) -> int:
+        """Total count of integers covered."""
+        return self._count
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    @property
+    def num_intervals(self) -> int:
+        return len(self._starts)
+
+    def intervals(self) -> Iterator[Tuple[int, int]]:
+        return zip(self._starts, self._ends)
+
+    def first_gap_after(self, value: int) -> int:
+        """Smallest integer >= ``value`` not covered by the set."""
+        idx = bisect_right(self._starts, value) - 1
+        if idx >= 0 and value < self._ends[idx]:
+            return self._ends[idx]
+        return value
+
+    def max_covered(self) -> int:
+        """One past the largest covered integer (0 if empty)."""
+        return self._ends[-1] if self._ends else 0
+
+    def interval_containing(self, value: int) -> Tuple[int, int]:
+        """The interval covering ``value`` (raises KeyError if none)."""
+        idx = bisect_right(self._starts, value) - 1
+        if idx >= 0 and value < self._ends[idx]:
+            return self._starts[idx], self._ends[idx]
+        raise KeyError(f"{value} not covered")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        spans = ", ".join(f"[{s},{e})" for s, e in self.intervals())
+        return f"IntervalSet({spans})"

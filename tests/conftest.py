@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.pipe import LossyPipe
+from repro.net.queue import DropTailQueue
+from repro.net.route import Route
+from repro.sim.simulation import Simulation
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    return Simulation(seed=42)
+
+
+def lossy_route(
+    sim: Simulation,
+    loss_prob: float,
+    rtt: float = 0.1,
+    name: str = "lossy",
+    rate_pps: float = 2e4,
+) -> Route:
+    """A route with a fixed random loss rate and no congestion drops —
+    the controlled environment for validating equilibrium formulas.
+
+    The service rate is high enough never to bottleneck the equilibria
+    under test (which sit at a few thousand pkt/s at most) but finite, so
+    a loss-free flow in unbounded slow start cannot blow the event count
+    up exponentially."""
+    queue = DropTailQueue(
+        sim, rate_pps=rate_pps, capacity=10**6, name=f"{name}.q", jitter=0.0
+    )
+    pipe = LossyPipe(sim, delay=rtt / 2.0, loss_prob=loss_prob, name=f"{name}.p")
+    return Route(sim, [queue, pipe], reverse_delay=rtt / 2.0, name=name)
+
+
+def bottleneck_route(
+    sim: Simulation,
+    rate_pps: float,
+    rtt: float = 0.1,
+    buffer_pkts: int = 100,
+    name: str = "bneck",
+):
+    """A single drop-tail bottleneck route (congestion losses only)."""
+    queue = DropTailQueue(sim, rate_pps, buffer_pkts, name=f"{name}.q")
+    pipe = LossyPipe(sim, delay=rtt / 2.0, loss_prob=0.0, name=f"{name}.p")
+    return Route(sim, [queue, pipe], reverse_delay=rtt / 2.0, name=name), queue

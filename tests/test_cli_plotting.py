@@ -1,0 +1,88 @@
+"""Tests for the CLI and the ASCII plotting helpers."""
+
+import pytest
+
+from repro.cli import main
+from repro.harness.plotting import ascii_bars, ascii_timeseries
+
+
+class TestCli:
+    def test_algorithms_lists_everything(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mptcp", "ewtcp", "coupled", "semicoupled", "reno", "lia"):
+            assert name in out
+
+    def test_twolinks_runs_and_reports(self, capsys):
+        code = main([
+            "twolinks", "--algo", "mptcp", "--rate1", "300", "--rate2", "300",
+            "--warmup", "5", "--duration", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total" in out and "path 1" in out
+
+    def test_bottleneck_reports_ratio(self, capsys):
+        code = main([
+            "bottleneck", "--algo", "uncoupled", "--competitors", "2",
+            "--rate", "800", "--warmup", "5", "--duration", "15",
+        ])
+        assert code == 0
+        assert "ratio" in capsys.readouterr().out
+
+    def test_torus_reports_losses(self, capsys):
+        code = main([
+            "torus", "--algo", "ewtcp", "--capacity-c", "500",
+            "--warmup", "5", "--duration", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Jain" in out and "loss rate" in out
+
+    def test_fattree_small(self, capsys):
+        code = main([
+            "fattree", "--k", "4", "--paths", "2",
+            "--warmup", "1.5", "--duration", "1.5", "--rate", "500",
+        ])
+        assert code == 0
+        assert "% NIC" in capsys.readouterr().out
+
+    def test_bad_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["twolinks", "--algo", "warp-drive"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestPlotting:
+    def test_timeseries_renders_all_series(self):
+        chart = ascii_timeseries(
+            [
+                ("up", [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]),
+                ("down", [(0.0, 3.0), (1.0, 2.0), (2.0, 1.0)]),
+            ],
+            width=20,
+            height=5,
+        )
+        assert "*" in chart and "o" in chart
+        assert "up" in chart and "down" in chart
+
+    def test_timeseries_empty(self):
+        assert ascii_timeseries([("a", [])]) == "(no data)"
+
+    def test_timeseries_single_point(self):
+        chart = ascii_timeseries([("dot", [(1.0, 5.0)])], width=10, height=3)
+        assert "*" in chart
+
+    def test_bars_scale_and_reference(self):
+        chart = ascii_bars(
+            [("a", 10.0), ("b", 5.0)], width=20, unit=" pkt/s", reference=10.0
+        )
+        lines = chart.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+        assert "|" in lines[1]
+
+    def test_bars_empty(self):
+        assert ascii_bars([]) == "(no data)"

@@ -1,0 +1,97 @@
+"""Tests for the time-domain fluid models (window vs rate control)."""
+
+import pytest
+
+from repro.fluid import (
+    coupled_windows,
+    mptcp_equilibrium_windows,
+    semicoupled_windows,
+    tcp_window,
+)
+from repro.fluid.dynamics import (
+    integrate_rates_coupled,
+    integrate_windows,
+    window_derivative,
+)
+
+
+class TestWindowOde:
+    def test_reno_converges_to_balance_window(self):
+        traj = integrate_windows("reno", [0.01], [0.1])
+        assert traj.final[0] == pytest.approx(tcp_window(0.01), rel=0.02)
+
+    def test_equilibrium_is_fixed_point(self):
+        w = tcp_window(0.02)
+        dw = window_derivative("reno", [w], [0.02], [0.1])
+        # tiny residual from the (1-p) factor the closed form drops
+        assert abs(dw[0]) < 0.05 * w
+
+    def test_semicoupled_converges_to_closed_form(self):
+        losses = [0.004, 0.0008]
+        traj = integrate_windows("semicoupled", losses, [0.1, 0.1])
+        expected = semicoupled_windows(losses)
+        for got, want in zip(traj.final, expected):
+            assert got == pytest.approx(want, rel=0.05)
+
+    def test_coupled_concentrates_on_clean_path(self):
+        losses = [0.02, 0.002]
+        traj = integrate_windows("coupled", losses, [0.1, 0.1], floor=0.01)
+        expected = coupled_windows(losses)
+        assert traj.final[0] < 1.0          # driven to the floor
+        assert traj.final[1] == pytest.approx(expected[1], rel=0.1)
+
+    def test_mptcp_converges_to_equilibrium_solver(self):
+        losses, rtts = [0.004, 0.001], [0.05, 0.2]
+        traj = integrate_windows("mptcp", losses, rtts, duration=400.0)
+        expected = mptcp_equilibrium_windows(losses, rtts)
+        for got, want in zip(traj.final, expected):
+            assert got == pytest.approx(want, rel=0.08)
+
+    def test_trajectory_positive_and_sampled(self):
+        traj = integrate_windows("ewtcp", [0.01, 0.02], [0.1, 0.1])
+        assert len(traj.times) == len(traj.states) > 10
+        assert all(w >= 1.0 for s in traj.states for w in s)
+        series = traj.series(0)
+        assert series[0][0] == 0.0
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            integrate_windows("psychic", [0.01], [0.1])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            integrate_windows("reno", [0.01, 0.02], [0.1])
+
+
+class TestWindowRttBias:
+    def test_windowed_tcp_rate_depends_on_rtt(self):
+        """§2.3: windowed control gives rate w/RTT ∝ 1/RTT at equal loss."""
+        fast = integrate_windows("reno", [0.01], [0.02]).final[0] / 0.02
+        slow = integrate_windows("reno", [0.01], [0.2]).final[0] / 0.2
+        assert fast > 5.0 * slow
+
+
+class TestRateBasedCoupled:
+    def test_equilibrium_total_is_rtt_free_closed_form(self):
+        losses = [0.01, 0.01]
+        traj = integrate_rates_coupled(losses, aggressiveness=1.0, beta=0.005)
+        # equilibrium total = a / (beta * p) = 1 / (0.005*0.01) = 20000
+        assert sum(traj.final) == pytest.approx(20000.0, rel=0.05)
+
+    def test_concentrates_on_less_congested_path(self):
+        traj = integrate_rates_coupled([0.02, 0.005], duration=500.0)
+        assert traj.final[0] < 0.01 * traj.final[1]
+
+    def test_no_rtt_mismatch_by_construction(self):
+        """§2.3's contrast: the rate-based equations contain no RTT, so
+        the same losses give the same allocation regardless of path RTTs
+        (which simply do not enter) — unlike the windowed fluid above."""
+        a = integrate_rates_coupled([0.01, 0.002])
+        b = integrate_rates_coupled([0.01, 0.002])
+        assert a.final == pytest.approx(b.final)
+
+    def test_total_matches_min_loss_path(self):
+        traj = integrate_rates_coupled([0.05, 0.01], duration=500.0)
+        assert sum(traj.final) == pytest.approx(
+            1.0 / (0.005 * 0.01), rel=0.05
+        )

@@ -1,0 +1,176 @@
+"""Tests for §6 subflow establishment and middlebox resilience."""
+
+import pytest
+
+from repro.core.registry import make_controller
+from repro.mptcp.connection import MptcpFlow
+from repro.mptcp.handshake import (
+    HandshakeResult,
+    MptcpEndpoint,
+    OptionStrippingMiddlebox,
+    connect,
+    join_subflow,
+)
+from repro.mptcp.reassembly import DataReassembler
+from repro.net.middlebox import SequenceRandomizingFirewall
+from repro.net.pipe import Pipe
+from repro.net.queue import DropTailQueue
+from repro.net.route import Route
+from repro.sim.simulation import Simulation
+
+
+class TestHandshake:
+    def test_both_multipath_negotiates(self):
+        client = MptcpEndpoint("c", key=11)
+        server = MptcpEndpoint("s", key=22)
+        result = connect(client, server)
+        assert result.multipath
+        assert result.connection_token in server.connections
+
+    def test_legacy_server_falls_back_to_tcp(self):
+        client = MptcpEndpoint("c")
+        server = MptcpEndpoint("s", supports_multipath=False)
+        result = connect(client, server)
+        assert not result.multipath
+        assert "regular TCP" in result.reason
+
+    def test_legacy_client_falls_back(self):
+        client = MptcpEndpoint("c", supports_multipath=False)
+        server = MptcpEndpoint("s")
+        assert not connect(client, server).multipath
+
+    def test_option_stripping_middlebox_degrades_to_tcp(self):
+        """§6: if the option never arrives, both ends behave as regular
+        TCP — the connection must work, just single-path."""
+        client = MptcpEndpoint("c")
+        server = MptcpEndpoint("s")
+        mbox = OptionStrippingMiddlebox(strip_probability=1.0)
+        result = connect(client, server, middlebox=mbox)
+        assert not result.multipath
+        assert mbox.stripped >= 1
+
+    def test_join_ties_subflow_to_connection(self):
+        client = MptcpEndpoint("c", key=1)
+        server = MptcpEndpoint("s", key=2)
+        setup = connect(client, server)
+        join = join_subflow(client, server, setup.connection_token)
+        assert join.multipath
+        assert server.connections[setup.connection_token]["subflows"] == 2
+
+    def test_join_with_unknown_token_refused(self):
+        client = MptcpEndpoint("c")
+        server = MptcpEndpoint("s")
+        connect(client, server)
+        assert not join_subflow(client, server, token=12345).multipath
+
+    def test_join_after_tcp_fallback_refused(self):
+        client = MptcpEndpoint("c")
+        server = MptcpEndpoint("s", supports_multipath=False)
+        setup = connect(client, server)
+        join = join_subflow(client, server, setup.connection_token)
+        assert not join.multipath
+
+    def test_join_through_stripping_middlebox_refused_but_harmless(self):
+        client = MptcpEndpoint("c")
+        server = MptcpEndpoint("s")
+        setup = connect(client, server)
+        mbox = OptionStrippingMiddlebox(strip_probability=1.0)
+        join = join_subflow(client, server, setup.connection_token, middlebox=mbox)
+        assert not join.multipath
+        # the original connection record is untouched
+        assert server.connections[setup.connection_token]["subflows"] == 1
+
+    def test_join_auth_is_stable_and_secret_dependent(self):
+        client = MptcpEndpoint("c", key=7)
+        server = MptcpEndpoint("s", key=9)
+        setup = connect(client, server)
+        token = setup.connection_token
+        mac1 = server.auth_for_join(token, nonce=42)
+        mac2 = server.auth_for_join(token, nonce=42)
+        mac3 = server.auth_for_join(token, nonce=43)
+        assert mac1 == mac2
+        assert mac1 != mac3
+
+    def test_token_does_not_reveal_key(self):
+        server = MptcpEndpoint("s", key=1234)
+        client = MptcpEndpoint("c")
+        result = connect(client, server)
+        assert result.connection_token != 1234
+
+
+OFFSET = 7_000_000  # the firewall's ISN randomisation offset
+
+
+def firewall_route(sim, rate=2000.0, rtt=0.05):
+    """A bottleneck route through a sequence-rewriting firewall.
+
+    Returns (route, firewall, sync).  ``sync(sender, receiver)`` rewires
+    the ACK path through the firewall's reverse twin and starts the
+    receiver in the rewritten space (pf rewrites the handshake's ISN too,
+    so endpoints agree on the shifted per-subflow space — what breaks is
+    only *inference* layered on those numbers).
+    """
+    queue = DropTailQueue(sim, rate, 100, name="q", jitter=0.0)
+    fw = SequenceRandomizingFirewall(sim, offset=OFFSET, name="fw")
+    pipe = Pipe(sim, rtt / 2, name="p")
+    route = Route(sim, [queue, fw, pipe], reverse_delay=rtt / 2, name="fwroute")
+    twin = fw.reverse_twin()
+    reverse_pipe = Pipe(sim, rtt / 2, name="rev")
+
+    def sync(sender, receiver):
+        receiver.attach((twin, reverse_pipe, sender))
+        receiver.expected = OFFSET
+
+    return route, fw, sync
+
+
+class TestSequenceRewritingFirewall:
+    def test_mptcp_dsn_design_survives_rewriting(self):
+        """The paper's design (per-subflow sequence space + explicit DSN)
+        reassembles correctly even when one subflow's sequence numbers are
+        rewritten in flight."""
+        sim = Simulation(seed=2)
+        clean_q = DropTailQueue(sim, 2000.0, 100, name="q2", jitter=0.0)
+        clean = Route(
+            sim, [clean_q, Pipe(sim, 0.025)], reverse_delay=0.025, name="clean"
+        )
+        rewritten, fw, sync = firewall_route(sim)
+        flow = MptcpFlow(
+            sim, [rewritten, clean], make_controller("mptcp"),
+            transfer_packets=500, name="m",
+        )
+        sync(flow.subflows[0], flow.receiver.subflow_receivers[0])
+        flow.start()
+        sim.run_until(30.0)
+        assert flow.completed
+        assert fw.packets_rewritten > 0
+        assert flow.packets_delivered == 500
+
+    def test_single_sequence_space_design_breaks(self):
+        """The rejected alternative — inferring stream position from the
+        subflow sequence number — misplaces every rewritten byte: the
+        stream never advances."""
+        reassembler = DataReassembler()
+        offset = OFFSET  # pf rewrote this subflow's ISN
+        for seq in range(50):
+            reassembler.receive(seq + offset)  # inferred position = seq
+        assert reassembler.data_cum_ack == 0   # stream stuck forever
+        assert reassembler.buffered == 50      # receiver buffer bloats
+
+    def test_firewall_is_transparent_to_plain_tcp(self):
+        """pf-style rewriting must not break a regular TCP connection
+        (it only breaks *inference* on top of sequence numbers)."""
+        from repro.tcp.sender import TcpFlow
+        from repro.tcp.source import FiniteSource
+
+        sim = Simulation(seed=3)
+        route, fw, sync = firewall_route(sim)
+        flow = TcpFlow(
+            sim, route, make_controller("reno"),
+            source=FiniteSource(300), name="f",
+        )
+        sync(flow.sender, flow.receiver)
+        flow.start()
+        sim.run_until(30.0)
+        assert flow.sender.completed
+        assert fw.packets_rewritten > 0

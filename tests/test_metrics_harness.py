@@ -1,0 +1,176 @@
+"""Tests for metrics and the experiment harness."""
+
+import pytest
+
+from repro.core.registry import make_controller
+from repro.harness import (
+    Table,
+    format_value,
+    grid_points,
+    make_flow,
+    measure,
+    sweep,
+)
+from repro.metrics import LossMeter, ThroughputMeter, jain_index, windowed_rate
+from repro.mptcp.connection import MptcpFlow
+from repro.net.queue import DropTailQueue
+from repro.net.pipe import Pipe
+from repro.net.route import Route
+from repro.sim.simulation import Simulation
+from repro.tcp.sender import TcpFlow
+
+
+class TestJainIndex:
+    def test_equal_rates_give_one(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_flow_is_one(self):
+        assert jain_index([3.0]) == 1.0
+
+    def test_worst_case_is_one_over_n(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_known_value(self):
+        # (1+2+3)^2 / (3 * 14) = 36/42
+        assert jain_index([1.0, 2.0, 3.0]) == pytest.approx(36 / 42)
+
+    def test_scale_invariant(self):
+        rates = [1.0, 2.0, 5.0]
+        assert jain_index(rates) == pytest.approx(
+            jain_index([r * 7 for r in rates])
+        )
+
+    def test_all_zero_is_one(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([-1.0])
+
+
+class TestMeters:
+    def test_windowed_rate(self):
+        assert windowed_rate(100, 400, 10.0) == 30.0
+        with pytest.raises(ValueError):
+            windowed_rate(0, 1, 0.0)
+
+    def test_throughput_meter_samples(self):
+        sim = Simulation()
+        counter = {"n": 0}
+        sim.schedule_at(0.5, lambda: counter.__setitem__("n", 50))
+        sim.schedule_at(1.5, lambda: counter.__setitem__("n", 150))
+        meter = ThroughputMeter(sim, lambda: counter["n"], interval=1.0)
+        meter.start()
+        sim.run_until(2.0)
+        times, rates = zip(*meter.samples)
+        assert rates == (50.0, 100.0)
+
+    def test_throughput_meter_mean(self):
+        sim = Simulation()
+        counter = {"n": 0}
+
+        def bump():
+            counter["n"] += 10
+            sim.schedule_in(0.1, bump)
+
+        sim.schedule_at(0.0, bump)
+        meter = ThroughputMeter(sim, lambda: counter["n"], interval=1.0)
+        meter.start()
+        sim.run_until(10.0)
+        assert meter.mean_rate() == pytest.approx(100.0, rel=0.05)
+
+    def test_loss_meter_baseline(self):
+        sim = Simulation()
+        q = DropTailQueue(sim, rate_pps=100.0, capacity=10, jitter=0.0)
+        q.arrivals, q.drops = 100, 10
+        meter = LossMeter([q])
+        q.arrivals, q.drops = 200, 40
+        assert meter.loss_rates() == [pytest.approx(0.3)]
+        meter.snapshot()
+        assert meter.loss_rates() == [0.0]
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["algo", "paper", "measured"])
+        t.add_row(["MPTCP", 95, 93.66])
+        t.add_row(["EWTCP", 92, None])
+        out = t.render(title="FatTree TP1")
+        lines = out.splitlines()
+        assert lines[0] == "FatTree TP1"
+        assert "MPTCP" in out and "93.7" in out and "-" in out
+
+    def test_row_width_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(1.234, precision=2) == "1.23"
+        assert format_value("x") == "x"
+        assert format_value(7) == "7"
+
+
+class TestSweep:
+    def test_grid_points_product(self):
+        points = grid_points({"a": [1, 2], "b": ["x", "y"]})
+        assert len(points) == 4
+        assert {"a": 2, "b": "y"} in points
+
+    def test_grid_points_empty(self):
+        assert grid_points({}) == [{}]
+
+    def test_sweep_merges_results(self):
+        rows = sweep({"x": [2, 3]}, lambda x: {"square": x * x})
+        assert rows == [{"x": 2, "square": 4}, {"x": 3, "square": 9}]
+
+
+class TestMakeFlowAndMeasure:
+    def _route(self, sim):
+        q = DropTailQueue(sim, 1000.0, 100, jitter=0.0)
+        return Route(sim, [q, Pipe(sim, 0.01)], reverse_delay=0.01)
+
+    def test_single_route_builds_tcp_flow(self):
+        sim = Simulation()
+        flow = make_flow(sim, [self._route(sim)], "reno")
+        assert isinstance(flow, TcpFlow)
+
+    def test_multiple_routes_build_mptcp_flow(self):
+        sim = Simulation()
+        flow = make_flow(sim, [self._route(sim), self._route(sim)], "mptcp")
+        assert isinstance(flow, MptcpFlow)
+        assert len(flow.subflows) == 2
+
+    def test_controller_kwargs_forwarded(self):
+        sim = Simulation()
+        flow = make_flow(
+            sim,
+            [self._route(sim), self._route(sim)],
+            "ewtcp",
+            controller_kwargs={"a": 0.5},
+        )
+        assert flow.controller.a == 0.5
+
+    def test_measure_reports_rates(self):
+        sim = Simulation(seed=1)
+        flow = make_flow(sim, [self._route(sim)], "reno", name="f")
+        flow.start()
+        m = measure(sim, {"f": flow}, warmup=5.0, duration=10.0)
+        assert m["f"] > 900.0
+        assert m.total() == m["f"]
+
+    def test_measure_subflow_rates(self):
+        sim = Simulation(seed=2)
+        flow = make_flow(sim, [self._route(sim), self._route(sim)], "mptcp", name="m")
+        flow.start()
+        m = measure(sim, {"m": flow}, warmup=5.0, duration=10.0)
+        assert len(m.subflow_rates["m"]) == 2
+        assert sum(m.subflow_rates["m"]) == pytest.approx(m["m"], rel=0.05)
+
+    def test_measure_validates_duration(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            measure(sim, {}, warmup=0.0, duration=0.0)

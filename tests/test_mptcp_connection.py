@@ -1,0 +1,212 @@
+"""Behavioural tests for the multipath connection layer."""
+
+import pytest
+
+from repro.core.registry import make_controller
+from repro.mptcp.connection import MptcpFlow
+from repro.net.pipe import LossyPipe, Pipe
+from repro.net.queue import DropTailQueue, VariableRateQueue
+from repro.net.route import Route
+from repro.sim.simulation import Simulation
+
+
+def two_path_routes(sim, rates=(500.0, 500.0), rtts=(0.1, 0.1),
+                    buffers=(50, 50), losses=(0.0, 0.0), variable=False):
+    routes = []
+    queues = []
+    for i, (rate, rtt, buf, p) in enumerate(zip(rates, rtts, buffers, losses)):
+        queue_cls = VariableRateQueue if variable else DropTailQueue
+        q = queue_cls(sim, rate, buf, name=f"q{i}")
+        pipe = LossyPipe(sim, rtt / 2, p, name=f"p{i}")
+        routes.append(Route(sim, [q, pipe], reverse_delay=rtt / 2, name=f"r{i}"))
+        queues.append(q)
+    return routes, queues
+
+
+class TestDataStriping:
+    def test_stream_delivered_in_dsn_order(self):
+        sim = Simulation(seed=1)
+        routes, _ = two_path_routes(sim, rtts=(0.02, 0.3))  # very unequal
+        flow = MptcpFlow(
+            sim, routes, make_controller("mptcp"), transfer_packets=400, name="m"
+        )
+        order = []
+        flow.receiver.reassembler.on_data = lambda dsn, pkt: order.append(dsn)
+        flow.start()
+        sim.run_until(60.0)
+        assert flow.completed
+        assert order == list(range(400))
+
+    def test_each_dsn_assigned_once(self):
+        sim = Simulation(seed=2)
+        routes, _ = two_path_routes(sim)
+        flow = MptcpFlow(
+            sim, routes, make_controller("mptcp"), transfer_packets=300, name="m"
+        )
+        flow.start()
+        sim.run_until(60.0)
+        assert flow.connection.scheduler.next_fresh_dsn == 300
+
+    def test_both_subflows_carry_data(self):
+        sim = Simulation(seed=3)
+        routes, _ = two_path_routes(sim)
+        flow = MptcpFlow(sim, routes, make_controller("mptcp"), name="m")
+        flow.start()
+        sim.run_until(30.0)
+        delivered = flow.subflow_delivered()
+        assert all(d > 100 for d in delivered)
+
+    def test_transfer_completes_under_loss(self):
+        sim = Simulation(seed=4)
+        routes, _ = two_path_routes(sim, losses=(0.02, 0.01))
+        flow = MptcpFlow(
+            sim, routes, make_controller("mptcp"), transfer_packets=500, name="m"
+        )
+        flow.start()
+        sim.run_until(200.0)
+        assert flow.completed
+        assert flow.packets_delivered == 500
+
+    def test_single_route_multipath_degenerates_gracefully(self):
+        sim = Simulation(seed=5)
+        routes, _ = two_path_routes(sim)
+        flow = MptcpFlow(
+            sim, routes[:1], make_controller("mptcp"),
+            transfer_packets=100, name="m",
+        )
+        flow.start()
+        sim.run_until(30.0)
+        assert flow.completed
+
+    def test_needs_at_least_one_route(self):
+        sim = Simulation(seed=6)
+        with pytest.raises(ValueError):
+            MptcpFlow(sim, [], make_controller("mptcp"))
+
+
+class TestFlowControl:
+    def test_sender_respects_shared_receive_buffer(self):
+        """With a tiny shared buffer and a slow application, the amount of
+        un-data-acked data outstanding must never exceed the pool."""
+        sim = Simulation(seed=7)
+        routes, _ = two_path_routes(sim)
+        flow = MptcpFlow(
+            sim,
+            routes,
+            make_controller("mptcp"),
+            name="m",
+            receive_buffer=20,
+            app_read_rate=200.0,
+        )
+        flow.start()
+        conn = flow.connection
+        for t in range(1, 100):
+            sim.run_until(t * 0.2)
+            outstanding = conn.scheduler.next_fresh_dsn - conn.data_acked
+            assert outstanding <= 20 + 1
+        assert flow.packets_delivered > 0
+
+    def test_throughput_limited_by_app_read_rate(self):
+        sim = Simulation(seed=8)
+        routes, _ = two_path_routes(sim)  # 1000 pkt/s of path capacity
+        flow = MptcpFlow(
+            sim,
+            routes,
+            make_controller("mptcp"),
+            name="m",
+            receive_buffer=50,
+            app_read_rate=100.0,
+        )
+        flow.start()
+        sim.run_until(10.0)
+        base = flow.packets_delivered
+        sim.run_until(40.0)
+        rate = (flow.packets_delivered - base) / 30.0
+        assert rate == pytest.approx(100.0, rel=0.2)
+
+    def test_no_deadlock_when_one_subflow_stalls(self):
+        """§6's shared-buffer argument: a stalled subflow must not wedge
+        the connection once it recovers — the shared pool (plus subflow
+        retransmission) drains the hole."""
+        sim = Simulation(seed=9)
+        routes, queues = two_path_routes(sim, variable=True)
+        flow = MptcpFlow(
+            sim,
+            routes,
+            make_controller("mptcp"),
+            name="m",
+            receive_buffer=100,
+        )
+        flow.start()
+        sim.run_until(5.0)
+        queues[0].set_rate(0.0)       # outage on path 1
+        sim.run_until(8.0)
+        queues[0].set_rate(500.0)     # recovery
+        sim.run_until(30.0)
+        base = flow.packets_delivered
+        sim.run_until(40.0)
+        assert flow.packets_delivered > base + 1000  # flowing again
+
+
+class TestDataAcks:
+    def test_data_acks_advance_connection_state(self):
+        sim = Simulation(seed=10)
+        routes, _ = two_path_routes(sim)
+        flow = MptcpFlow(sim, routes, make_controller("mptcp"), name="m")
+        flow.start()
+        sim.run_until(10.0)
+        assert flow.connection.data_acked > 0
+        assert flow.connection.data_acked <= flow.connection.scheduler.next_fresh_dsn
+
+    def test_every_subflow_ack_carries_data_ack(self):
+        sim = Simulation(seed=11)
+        routes, _ = two_path_routes(sim)
+        flow = MptcpFlow(sim, routes, make_controller("mptcp"), name="m")
+        extensions = [r.ack_extension() for r in flow.receiver.subflow_receivers]
+        assert all(ext[0] == 0 for ext in extensions)  # (data_ack, rwnd)
+
+    def test_unlimited_buffer_advertises_none(self):
+        sim = Simulation(seed=12)
+        routes, _ = two_path_routes(sim)
+        flow = MptcpFlow(sim, routes, make_controller("mptcp"), name="m")
+        data_ack, rwnd = flow.receiver.subflow_receivers[0].ack_extension()
+        assert rwnd is None
+
+
+class TestReinjection:
+    def test_dead_subflow_data_reinjected_on_other_path(self):
+        """Extension: with reinjection on, data stranded on a dead subflow
+        is retransmitted on the healthy one and the transfer completes."""
+        sim = Simulation(seed=13)
+        routes, queues = two_path_routes(sim, variable=True)
+        flow = MptcpFlow(
+            sim,
+            routes,
+            make_controller("mptcp"),
+            transfer_packets=2000,
+            name="m",
+            enable_reinjection=True,
+        )
+        flow.start()
+        sim.run_until(1.0)
+        queues[0].set_rate(0.0)  # path 1 dies and never recovers
+        sim.run_until(120.0)
+        assert flow.completed
+        assert flow.connection.scheduler.reinjected > 0
+
+    def test_without_reinjection_transfer_stalls_on_dead_path(self):
+        sim = Simulation(seed=13)
+        routes, queues = two_path_routes(sim, variable=True)
+        flow = MptcpFlow(
+            sim,
+            routes,
+            make_controller("mptcp"),
+            transfer_packets=2000,
+            name="m",
+            enable_reinjection=False,
+        )
+        flow.start()
+        sim.run_until(1.0)
+        queues[0].set_rate(0.0)
+        sim.run_until(120.0)
+        assert not flow.completed  # data mapped to the dead path is stuck

@@ -1,0 +1,49 @@
+"""Tests for the §6 protocol-design arguments (executable models)."""
+
+from repro.mptcp.flow_control import (
+    data_ack_deadlock_possible,
+    run_inferred_ack_scenario,
+)
+
+
+class TestInferredAckScenario:
+    def test_inferred_policy_overcommits(self):
+        """The paper's step iv: inferring the data ACK from subflow ACKs
+        plus a stale window edge makes the sender send packet 3 into a full
+        buffer."""
+        trace = run_inferred_ack_scenario("inferred")
+        assert trace.overcommitted
+        assert any("drop" in e for e in trace.events)
+
+    def test_explicit_policy_is_safe(self):
+        trace = run_inferred_ack_scenario("explicit")
+        assert not trace.overcommitted
+
+    def test_unknown_policy_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            run_inferred_ack_scenario("psychic")
+
+    def test_traces_record_events(self):
+        assert len(run_inferred_ack_scenario("inferred").events) >= 2
+
+
+class TestDataAckDeadlock:
+    def test_flow_controlled_data_acks_deadlock(self):
+        """§6's cycle: payload-embedded data ACKs + full buffers on both
+        sides deadlock."""
+        assert data_ack_deadlock_possible(data_acks_flow_controlled=True)
+
+    def test_option_carried_data_acks_never_deadlock(self):
+        """The paper's choice — data ACKs in TCP options — is exempt from
+        flow control and breaks the cycle."""
+        assert not data_ack_deadlock_possible(data_acks_flow_controlled=False)
+
+    def test_no_deadlock_if_buffers_not_full(self):
+        assert not data_ack_deadlock_possible(
+            data_acks_flow_controlled=True, a_receive_pool_full=False
+        )
+        assert not data_ack_deadlock_possible(
+            data_acks_flow_controlled=True, a_send_buffer_full=False
+        )

@@ -1,0 +1,42 @@
+"""Unit tests for DSN scheduling and reinjection."""
+
+import pytest
+
+from repro.mptcp.scheduler import DsnScheduler
+
+
+class TestDsnScheduler:
+    def test_sequential_assignment(self):
+        s = DsnScheduler()
+        assert [s.next_dsn(None) for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_limit_exhausts(self):
+        s = DsnScheduler(limit=2)
+        assert s.next_dsn(None) == 0
+        assert s.next_dsn(None) == 1
+        assert s.next_dsn(None) is None
+
+    def test_flow_control_blocks_fresh_data(self):
+        s = DsnScheduler()
+        assert s.next_dsn(1) == 0
+        assert s.next_dsn(1) is None  # window edge reached
+        assert s.next_dsn(2) == 1     # window opened
+
+    def test_reinjections_served_first_and_ignore_window(self):
+        s = DsnScheduler()
+        assert s.next_dsn(None) == 0
+        s.queue_reinjection(0)
+        assert s.next_dsn(0) == 0     # despite closed window
+        assert s.reinjected == 1
+
+    def test_reinjection_purge(self):
+        s = DsnScheduler()
+        for dsn in (3, 5, 7):
+            s.queue_reinjection(dsn)
+        s.drop_reinjections_below(6)
+        assert s.pending_reinjections == 1
+        assert s.next_dsn(None) == 7
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            DsnScheduler(limit=0)

@@ -1,0 +1,85 @@
+"""Micro-tests for packet plumbing and the middlebox element."""
+
+import pytest
+
+from repro.net.middlebox import SequenceRandomizingFirewall
+from repro.net.packet import ACK_SIZE, AckPacket, DataPacket, Packet
+from repro.sim.simulation import Simulation
+
+
+class Recorder:
+    def __init__(self):
+        self.packets = []
+
+    def receive(self, packet):
+        self.packets.append(packet)
+
+
+class TestPacketForwarding:
+    def test_send_starts_at_first_element(self):
+        a, b = Recorder(), Recorder()
+        packet = Packet((a, b), size=1.0, flow=None)
+        packet.send()
+        assert a.packets == [packet]
+        assert b.packets == []
+
+    def test_forward_advances_cursor(self):
+        a, b = Recorder(), Recorder()
+        packet = Packet((a, b), size=1.0, flow=None)
+        packet.send()
+        packet.forward()
+        assert b.packets == [packet]
+        assert packet.at_last_hop
+
+    def test_ack_has_token_size(self):
+        ack = AckPacket((Recorder(),), flow=None, ack_seq=3, echo_timestamp=0.0)
+        assert ack.size == ACK_SIZE
+
+    def test_data_packet_fields(self):
+        packet = DataPacket(
+            (Recorder(),), flow="f", seq=7, timestamp=1.5, dsn=42,
+            is_retransmit=True,
+        )
+        assert packet.seq == 7
+        assert packet.dsn == 42
+        assert packet.is_retransmit
+        assert packet.size == 1.0
+
+
+class TestFirewallElement:
+    def test_data_seq_shifted_forward(self):
+        sim = Simulation()
+        sink = Recorder()
+        fw = SequenceRandomizingFirewall(sim, offset=1000)
+        packet = DataPacket((fw, sink), flow=None, seq=5, timestamp=0.0)
+        packet.send()
+        assert sink.packets[0].seq == 1005
+
+    def test_ack_seq_shifted_back(self):
+        sim = Simulation()
+        sink = Recorder()
+        fw = SequenceRandomizingFirewall(sim, offset=1000)
+        ack = AckPacket((fw, sink), flow=None, ack_seq=1005, echo_timestamp=0.0,
+                        sack_blocks=((1010, 1012),))
+        ack.send()
+        assert sink.packets[0].ack_seq == 5
+        assert sink.packets[0].sack_blocks == ((10, 12),)
+
+    def test_reverse_twin_shares_offset(self):
+        sim = Simulation(seed=9)
+        fw = SequenceRandomizingFirewall(sim)  # random offset
+        twin = fw.reverse_twin()
+        assert twin.offset == fw.offset
+
+    def test_random_offsets_are_large(self):
+        sim = Simulation(seed=10)
+        fw = SequenceRandomizingFirewall(sim)
+        assert fw.offset >= 10**6
+
+    def test_counts_rewrites(self):
+        sim = Simulation()
+        sink = Recorder()
+        fw = SequenceRandomizingFirewall(sim, offset=10)
+        DataPacket((fw, sink), flow=None, seq=0, timestamp=0.0).send()
+        AckPacket((fw, sink), flow=None, ack_seq=11, echo_timestamp=0.0).send()
+        assert fw.packets_rewritten == 2

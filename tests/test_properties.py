@@ -1,0 +1,127 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fluid import (
+    coupled_windows,
+    ewtcp_windows,
+    semicoupled_weights,
+    semicoupled_windows,
+    tcp_window,
+)
+from repro.metrics import jain_index
+from repro.mptcp.reassembly import DataReassembler
+from repro.mptcp.scheduler import DsnScheduler
+from repro.sim.engine import EventScheduler
+
+losses = st.lists(
+    st.floats(min_value=1e-4, max_value=0.2), min_size=1, max_size=6
+)
+
+
+class TestFluidInvariants:
+    @given(losses)
+    def test_ewtcp_total_never_exceeds_one_tcp_on_best_path(self, ps):
+        """With the fairness weight a = 1/n², total EWTCP window is at
+        most the single-path TCP window on the least lossy path."""
+        windows = ewtcp_windows(ps)
+        best = tcp_window(min(ps))
+        assert sum(windows) <= best + 1e-9
+
+    @given(losses)
+    def test_coupled_total_equals_tcp_on_best_path(self, ps):
+        windows = coupled_windows(ps)
+        assert sum(windows) == pytest.approx(tcp_window(min(ps)))
+
+    @given(losses)
+    def test_semicoupled_weights_sum_to_one(self, ps):
+        weights = semicoupled_weights(ps)
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(w > 0 for w in weights)
+
+    @given(losses)
+    def test_semicoupled_orders_paths_by_loss(self, ps):
+        windows = semicoupled_windows(ps)
+        order = sorted(range(len(ps)), key=lambda i: ps[i])
+        sorted_windows = [windows[i] for i in order]
+        assert sorted_windows == sorted(sorted_windows, reverse=True)
+
+    @given(st.floats(min_value=1e-5, max_value=0.3))
+    def test_tcp_window_monotone_in_loss(self, p):
+        assert tcp_window(p) >= tcp_window(min(0.3, p * 2)) - 1e-9
+
+
+class TestJainProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1,
+                    max_size=20))
+    def test_bounds(self, rates):
+        index = jain_index(rates)
+        # floating-point roundoff can push the index epsilon past the
+        # mathematical bounds for near-degenerate inputs
+        assert 1.0 / len(rates) - 1e-6 <= index <= 1.0 + 1e-6
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e3), min_size=2,
+                    max_size=10), st.floats(min_value=0.1, max_value=100.0))
+    def test_scale_invariance(self, rates, factor):
+        assert jain_index(rates) == pytest.approx(
+            jain_index([r * factor for r in rates]), rel=1e-6
+        )
+
+
+class TestReassemblerProperties:
+    @given(st.permutations(list(range(30))))
+    @settings(max_examples=100)
+    def test_any_arrival_order_reassembles_in_order(self, order):
+        r = DataReassembler()
+        seen = []
+        r.on_data = lambda dsn, payload: seen.append(dsn)
+        for dsn in order:
+            r.receive(dsn)
+        assert seen == list(range(30))
+        assert r.buffered == 0
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=100))
+    @settings(max_examples=100)
+    def test_duplicates_never_delivered_twice(self, arrivals):
+        r = DataReassembler()
+        seen = []
+        r.on_data = lambda dsn, payload: seen.append(dsn)
+        for dsn in arrivals:
+            r.receive(dsn)
+        assert len(seen) == len(set(seen))
+        assert seen == sorted(seen)
+
+
+class TestSchedulerProperties:
+    @given(st.lists(st.integers(1, 50), min_size=1, max_size=50))
+    @settings(max_examples=100)
+    def test_dsns_unique_and_dense(self, window_openings):
+        """However the flow-control limit moves, fresh DSNs come out
+        exactly once, in order, with no gaps."""
+        scheduler = DsnScheduler()
+        issued = []
+        limit = 0
+        for opening in window_openings:
+            limit += opening
+            while True:
+                dsn = scheduler.next_dsn(limit)
+                if dsn is None:
+                    break
+                issued.append(dsn)
+        assert issued == list(range(len(issued)))
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1,
+                    max_size=200))
+    @settings(max_examples=100)
+    def test_events_always_fire_in_time_order(self, times):
+        sched = EventScheduler()
+        fired = []
+        for t in times:
+            sched.schedule_at(t, fired.append, t)
+        sched.run()
+        assert fired == sorted(times)
+        assert len(fired) == len(times)

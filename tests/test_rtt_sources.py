@@ -1,0 +1,88 @@
+"""Unit tests for RTT estimation and application data sources."""
+
+import pytest
+
+from repro.tcp.rtt import RttEstimator
+from repro.tcp.source import FiniteSource, InfiniteSource, bytes_to_packets
+
+
+class TestRttEstimator:
+    def test_first_sample_initialises(self):
+        est = RttEstimator()
+        est.sample(0.2)
+        assert est.srtt == pytest.approx(0.2)
+        assert est.rttvar == pytest.approx(0.1)
+
+    def test_ewma_converges_to_constant_rtt(self):
+        est = RttEstimator()
+        for _ in range(200):
+            est.sample(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.rttvar == pytest.approx(0.0, abs=1e-6)
+
+    def test_rto_has_variance_floor(self):
+        est = RttEstimator(min_rto=0.2)
+        for _ in range(200):
+            est.sample(0.5)
+        # rttvar ~ 0, but RTO must stay >= srtt + min_rto (Linux-style).
+        assert est.rto == pytest.approx(0.7, rel=0.01)
+
+    def test_rto_before_any_sample_is_initial(self):
+        est = RttEstimator(initial_rto=1.0)
+        assert est.rto == 1.0
+
+    def test_backoff_doubles_and_resets(self):
+        est = RttEstimator()
+        est.sample(0.1)
+        base = est.rto
+        est.back_off()
+        assert est.rto == pytest.approx(2 * base)
+        est.back_off()
+        assert est.rto == pytest.approx(4 * base)
+        est.sample(0.1)
+        assert est.rto == pytest.approx(base, rel=0.05)
+
+    def test_rto_capped_at_max(self):
+        est = RttEstimator(max_rto=3.0)
+        est.sample(2.0)
+        for _ in range(10):
+            est.back_off()
+        assert est.rto == 3.0
+
+    def test_variance_tracks_jitter(self):
+        est = RttEstimator()
+        for rtt in (0.1, 0.3) * 50:
+            est.sample(rtt)
+        assert est.rttvar > 0.05
+
+    def test_rejects_nonpositive_sample(self):
+        with pytest.raises(ValueError):
+            RttEstimator().sample(0.0)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            RttEstimator(min_rto=2.0, max_rto=1.0)
+
+
+class TestSources:
+    def test_infinite_source_has_no_limit(self):
+        assert InfiniteSource().limit is None
+
+    def test_finite_source_limit(self):
+        assert FiniteSource(10).limit == 10
+
+    def test_finite_source_from_bytes(self):
+        assert FiniteSource.from_bytes(3000).limit == 2
+        assert FiniteSource.from_bytes(3001).limit == 3
+        assert FiniteSource.from_bytes(1).limit == 1
+
+    def test_bytes_to_packets(self):
+        assert bytes_to_packets(1500) == 1
+        assert bytes_to_packets(1501) == 2
+        assert bytes_to_packets(200_000) == 134
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            FiniteSource(0)
+        with pytest.raises(ValueError):
+            bytes_to_packets(0)

@@ -1,0 +1,170 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import EventScheduler, SimulationError
+from repro.sim.simulation import Simulation
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule_at(2.0, fired.append, "b")
+        sched.schedule_at(1.0, fired.append, "a")
+        sched.schedule_at(3.0, fired.append, "c")
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_run_fifo(self):
+        sched = EventScheduler()
+        fired = []
+        for label in ("first", "second", "third"):
+            sched.schedule_at(1.0, fired.append, label)
+        sched.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        sched = EventScheduler()
+        seen = []
+        sched.schedule_at(5.5, lambda: seen.append(sched.now))
+        sched.run()
+        assert seen == [5.5]
+
+    def test_schedule_in_is_relative(self):
+        sched = EventScheduler()
+        times = []
+        sched.schedule_at(1.0, lambda: sched.schedule_in(2.0, lambda: times.append(sched.now)))
+        sched.run()
+        assert times == [3.0]
+
+    def test_scheduling_in_the_past_raises(self):
+        sched = EventScheduler()
+        sched.schedule_at(1.0, lambda: None)
+        sched.run()
+        with pytest.raises(SimulationError):
+            sched.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_raises(self):
+        sched = EventScheduler()
+        with pytest.raises(SimulationError):
+            sched.schedule_in(-0.1, lambda: None)
+
+    def test_callback_without_arg(self):
+        sched = EventScheduler()
+        hits = []
+        sched.schedule_at(1.0, lambda: hits.append(1))
+        sched.run()
+        assert hits == [1]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sched = EventScheduler()
+        fired = []
+        handle = sched.schedule_at(1.0, fired.append, "x")
+        handle.cancel()
+        sched.run()
+        assert fired == []
+
+    def test_cancel_after_fire_is_noop(self):
+        sched = EventScheduler()
+        fired = []
+        handle = sched.schedule_at(1.0, fired.append, "x")
+        sched.run()
+        handle.cancel()
+        assert fired == ["x"]
+
+    def test_cancelled_flag(self):
+        sched = EventScheduler()
+        handle = sched.schedule_at(1.0, lambda: None)
+        assert not handle.cancelled
+        handle.cancel()
+        assert handle.cancelled
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_boundary(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule_at(1.0, fired.append, "a")
+        sched.schedule_at(2.0, fired.append, "b")
+        sched.run_until(1.5)
+        assert fired == ["a"]
+        assert sched.now == 1.5
+
+    def test_run_until_includes_events_at_boundary(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule_at(1.5, fired.append, "a")
+        sched.run_until(1.5)
+        assert fired == ["a"]
+
+    def test_run_until_composes(self):
+        sched = EventScheduler()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            sched.schedule_at(t, fired.append, t)
+        sched.run_until(1.0)
+        sched.run_until(2.5)
+        sched.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+        assert sched.now == 10.0
+
+    def test_events_scheduled_during_run_execute(self):
+        sched = EventScheduler()
+        fired = []
+
+        def chain():
+            fired.append(sched.now)
+            if sched.now < 3.0:
+                sched.schedule_in(1.0, chain)
+
+        sched.schedule_at(1.0, chain)
+        sched.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_max_events_bound(self):
+        sched = EventScheduler()
+
+        def reschedule():
+            sched.schedule_in(1.0, reschedule)
+
+        sched.schedule_in(1.0, reschedule)
+        count = sched.run(max_events=25)
+        assert count == 25
+
+    def test_events_run_counter(self):
+        sched = EventScheduler()
+        for t in range(5):
+            sched.schedule_at(float(t + 1), lambda: None)
+        sched.run()
+        assert sched.events_run == 5
+
+
+class TestSimulation:
+    def test_seeded_rng_is_deterministic(self):
+        a = Simulation(seed=7).rng.random()
+        b = Simulation(seed=7).rng.random()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert Simulation(seed=1).rng.random() != Simulation(seed=2).rng.random()
+
+    def test_now_property(self):
+        sim = Simulation()
+        sim.run_until(4.0)
+        assert sim.now == 4.0
+
+    def test_at_end_callbacks(self):
+        sim = Simulation()
+        hits = []
+        sim.at_end(lambda: hits.append("done"))
+        sim.finish()
+        assert hits == ["done"]
+
+    def test_register_components(self):
+        sim = Simulation()
+        token = object()
+        assert sim.register(token) is token
+        assert token in sim.components

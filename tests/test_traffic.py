@@ -1,0 +1,171 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.net.queue import DropTailQueue
+from repro.net.pipe import Pipe
+from repro.net.route import Route
+from repro.sim.simulation import Simulation
+from repro.traffic import (
+    CbrSource,
+    OnOffCbrSource,
+    ParetoSizes,
+    PoissonFlowGenerator,
+    one_to_many_matrix,
+    permutation_matrix,
+    sparse_matrix,
+)
+
+
+def open_route(sim, rate=10000.0):
+    q = DropTailQueue(sim, rate, 10**6, jitter=0.0)
+    return Route(sim, [q, Pipe(sim, 0.005)], reverse_delay=0.005)
+
+
+class TestCbr:
+    def test_constant_rate(self):
+        sim = Simulation(seed=1)
+        cbr = CbrSource(sim, open_route(sim), rate_pps=100.0)
+        cbr.start()
+        sim.run_until(10.0)
+        assert cbr.packets_sent == pytest.approx(1000, abs=2)
+        assert cbr.sink.packets_received == pytest.approx(1000, abs=3)
+
+    def test_stop(self):
+        sim = Simulation(seed=1)
+        cbr = CbrSource(sim, open_route(sim), rate_pps=100.0)
+        cbr.start()
+        sim.run_until(1.0)
+        cbr.stop()
+        sent = cbr.packets_sent
+        sim.run_until(2.0)
+        assert cbr.packets_sent == sent
+
+    def test_onoff_duty_cycle(self):
+        """Fig 9 generator: mean on 10 ms at full rate, mean off 100 ms —
+        long-run average ~ rate * 10/110."""
+        sim = Simulation(seed=2)
+        cbr = OnOffCbrSource(
+            sim, open_route(sim), rate_pps=8333.0, mean_on=0.010, mean_off=0.100
+        )
+        cbr.start()
+        sim.run_until(120.0)
+        average = cbr.packets_sent / 120.0
+        expected = 8333.0 * (0.010 / 0.110)
+        assert average == pytest.approx(expected, rel=0.25)
+        assert cbr.on_periods > 500
+
+    def test_invalid_parameters(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            CbrSource(sim, open_route(sim), rate_pps=0.0)
+        with pytest.raises(ValueError):
+            OnOffCbrSource(sim, open_route(sim), 100.0, mean_on=0.0)
+
+
+class TestPareto:
+    def test_mean_matches(self):
+        sizes = ParetoSizes(mean_bytes=200_000.0, alpha=1.5)
+        sim = Simulation(seed=3)
+        samples = [sizes.sample(sim.rng) for _ in range(100_000)]
+        assert sum(samples) / len(samples) == pytest.approx(200_000, rel=0.15)
+
+    def test_minimum_is_scale(self):
+        sizes = ParetoSizes(mean_bytes=300.0, alpha=1.5)
+        sim = Simulation(seed=4)
+        assert all(sizes.sample(sim.rng) >= sizes.xm for _ in range(1000))
+
+    def test_heavy_tail(self):
+        sizes = ParetoSizes(mean_bytes=200_000.0, alpha=1.5)
+        sim = Simulation(seed=5)
+        samples = [sizes.sample(sim.rng) for _ in range(50_000)]
+        assert max(samples) > 10 * 200_000  # tail events occur
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ParetoSizes(alpha=1.0)
+
+
+class TestPoissonGenerator:
+    def test_arrival_rate_alternates(self):
+        sim = Simulation(seed=6)
+        gen = PoissonFlowGenerator(
+            sim,
+            route_factory=lambda i: open_route(sim),
+            light_rate=5.0,
+            heavy_rate=50.0,
+            period=10.0,
+            sizes=ParetoSizes(mean_bytes=15_000),
+        )
+        gen.start()
+        sim.run_until(9.9)
+        light_arrivals = gen.arrivals
+        sim.run_until(19.9)
+        heavy_arrivals = gen.arrivals - light_arrivals
+        assert heavy_arrivals > 3 * max(1, light_arrivals)
+
+    def test_flows_complete_and_recycle(self):
+        sim = Simulation(seed=7)
+        gen = PoissonFlowGenerator(
+            sim,
+            route_factory=lambda i: open_route(sim),
+            light_rate=20.0,
+            heavy_rate=20.0,
+            sizes=ParetoSizes(mean_bytes=6_000),
+        )
+        gen.start()
+        sim.run_until(30.0)
+        assert gen.completions > 100
+        assert len(gen.active) < 30
+
+    def test_current_rate_phase(self):
+        sim = Simulation(seed=8)
+        gen = PoissonFlowGenerator(
+            sim, route_factory=lambda i: open_route(sim),
+            light_rate=1.0, heavy_rate=9.0, period=5.0,
+        )
+        assert gen.current_rate() == 1.0
+        sim.run_until(6.0)
+        assert gen.current_rate() == 9.0
+
+
+class TestMatrices:
+    HOSTS = [f"h{i}" for i in range(20)]
+
+    def test_permutation_every_host_sends_and_receives_once(self):
+        sim = Simulation(seed=9)
+        pairs = permutation_matrix(self.HOSTS, sim.rng)
+        sources = [s for s, _ in pairs]
+        destinations = [d for _, d in pairs]
+        assert sorted(sources) == sorted(self.HOSTS)
+        assert sorted(destinations) == sorted(self.HOSTS)
+        assert all(s != d for s, d in pairs)
+
+    def test_one_to_many_fanout(self):
+        sim = Simulation(seed=10)
+        pairs = one_to_many_matrix(self.HOSTS, sim.rng, fanout=12)
+        per_source = {}
+        for s, d in pairs:
+            assert s != d
+            per_source[s] = per_source.get(s, 0) + 1
+        assert all(count == 12 for count in per_source.values())
+
+    def test_one_to_many_with_neighbor_sets(self):
+        sim = Simulation(seed=11)
+        neighbor_sets = {h: [d for d in self.HOSTS[:5] if d != h] for h in self.HOSTS}
+        pairs = one_to_many_matrix(
+            self.HOSTS, sim.rng, fanout=3, neighbor_sets=neighbor_sets
+        )
+        for s, d in pairs:
+            assert d in neighbor_sets[s]
+
+    def test_sparse_fraction(self):
+        sim = Simulation(seed=12)
+        pairs = sparse_matrix(self.HOSTS, sim.rng, fraction=0.30)
+        assert len(pairs) == 6
+        assert len({s for s, _ in pairs}) == 6  # distinct senders
+
+    def test_sparse_invalid_fraction(self):
+        sim = Simulation(seed=13)
+        with pytest.raises(ValueError):
+            sparse_matrix(self.HOSTS, sim.rng, fraction=0.0)
