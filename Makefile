@@ -1,0 +1,26 @@
+# Convenience targets for the reproduction repo.
+#
+#   make test        tier-1 test suite
+#   make obs-test    observability-layer tests only (pytest -m obs)
+#   make bench       paper tables/figures + simulator microbenchmarks
+#   make trace-demo  quickstart with tracing on, JSONL validated against
+#                    the schema in docs/OBSERVABILITY.md
+
+PYTHON    ?= python
+PP        := PYTHONPATH=src
+TRACE_OUT ?= quickstart-trace.jsonl
+
+.PHONY: test obs-test bench trace-demo
+
+test:
+	$(PP) $(PYTHON) -m pytest -x -q
+
+obs-test:
+	$(PP) $(PYTHON) -m pytest -m obs -q
+
+bench:
+	$(PP) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+trace-demo:
+	$(PP) $(PYTHON) examples/quickstart.py --trace $(TRACE_OUT)
+	$(PP) $(PYTHON) -m repro trace-validate $(TRACE_OUT)

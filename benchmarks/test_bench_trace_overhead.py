@@ -1,0 +1,65 @@
+"""Microbenchmarks of the observability layer's overhead.
+
+The contract (docs/OBSERVABILITY.md) is that *disabled* tracing is free to
+within noise — every hot-path instrumentation point is a single attribute
+check on the no-op singleton — and that enabled tracing costs roughly in
+proportion to the event volume recorded.  ``test_bench_engine_micro.py``
+measures the disabled path implicitly (its simulations carry no bus);
+these benches measure the same workloads with a bus attached so the two
+files together bound the cost of turning observability on.
+"""
+
+from repro import Simulation, TraceBus, make_flow
+from repro.obs import EVENT_TYPES, MemorySink
+from repro.sim.engine import EventScheduler
+from repro.topology import build_two_links
+
+#: Protocol-level events (what `repro trace` records by default).
+PROTOCOL_EVENTS = set(EVENT_TYPES) - {"engine.event_fired"}
+
+
+def _run_mptcp(trace=None):
+    sim = Simulation(seed=2, trace=trace)
+    sc = build_two_links(sim, 500.0, 500.0, buffer1_pkts=50, buffer2_pkts=50)
+    flow = make_flow(sim, sc.routes("multi"), "mptcp", name="m")
+    flow.start()
+    sim.run_until(10.0)
+    return flow.packets_delivered
+
+
+def test_mptcp_tracing_disabled(benchmark):
+    """Reference: the untraced hot path (NULL_TRACE attribute checks)."""
+    assert benchmark(_run_mptcp) > 5000
+
+
+def test_mptcp_protocol_tracing_enabled(benchmark):
+    """Full protocol-event tracing into a bounded in-memory sink."""
+
+    def run():
+        sink = MemorySink(limit=200_000)
+        bus = TraceBus(sinks=[sink], events=PROTOCOL_EVENTS)
+        delivered = _run_mptcp(trace=bus)
+        assert len(sink) > 0
+        return delivered
+
+    assert benchmark(run) > 5000
+
+
+def test_engine_event_tracing_enabled(benchmark):
+    """The worst case: one engine.event_fired record per dispatch."""
+
+    def run():
+        sink = MemorySink(limit=50_000)
+        sched = EventScheduler(trace=TraceBus(sinks=[sink]))
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20000:
+                sched.schedule_in(0.001, tick)
+
+        sched.schedule_in(0.001, tick)
+        sched.run()
+        return count[0]
+
+    assert benchmark(run) == 20000

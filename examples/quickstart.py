@@ -6,13 +6,35 @@ Builds two independent bottleneck links, runs a single-path TCP over link
 and prints the goodput each achieves.
 
 Run:  python examples/quickstart.py
+
+With ``--trace out.jsonl`` the run also emits a structured event trace
+(enqueues, drops, deliveries, cwnd updates, data ACKs — the schema is in
+docs/OBSERVABILITY.md) that `python -m repro trace-validate out.jsonl`
+checks and docs/OBSERVABILITY.md shows how to turn into a cwnd time series.
 """
 
-from repro import Simulation, Network, make_flow, measure, pps_to_mbps
+from repro import (
+    JsonlSink,
+    Network,
+    Simulation,
+    TraceBus,
+    make_flow,
+    measure,
+    pps_to_mbps,
+)
+from repro.obs import EVENT_TYPES
 
 
-def main() -> None:
-    sim = Simulation(seed=1)
+def main(trace_path: str = None) -> None:
+    bus = None
+    if trace_path:
+        # Protocol-level events only: engine.event_fired is one record per
+        # scheduler dispatch and would dwarf everything else.
+        bus = TraceBus(
+            sinks=[JsonlSink(trace_path)],
+            events=set(EVENT_TYPES) - {"engine.event_fired"},
+        )
+    sim = Simulation(seed=1, trace=bus)
     net = Network(sim)
 
     # Two 12 Mb/s links (1000 pkt/s of 1500-byte packets), 50 ms one-way
@@ -49,6 +71,19 @@ def main() -> None:
     print("the link it shares with the TCP flow (taking less than half of")
     print("it) — yet its total comfortably beats the best single path.")
 
+    if bus is not None:
+        bus.close()
+        print(f"\ntrace: {bus.events_emitted} events written to {trace_path}")
+
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a structured JSONL event trace to PATH",
+    )
+    # parse_known_args so running under a test harness's argv still works
+    args, _ = parser.parse_known_args()
+    main(trace_path=args.trace)

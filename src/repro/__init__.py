@@ -11,6 +11,9 @@ Public API highlights
   discrete-event simulator the evaluation runs on.
 * :mod:`repro.topology`, :mod:`repro.traffic` — the paper's scenarios.
 * :mod:`repro.fluid` — closed-form equilibrium models for cross-checking.
+* :mod:`repro.obs` — observability: structured event tracing
+  (``TraceBus``) and per-flow/per-queue time series (``SeriesRecorder``);
+  schema in ``docs/OBSERVABILITY.md``.
 """
 
 from .core import (
@@ -24,10 +27,18 @@ from .core import (
     UncoupledController,
     make_controller,
 )
-from .harness import Table, make_flow, measure
+from .harness import Table, make_flow, measure, standard_series
 from .metrics import jain_index
 from .mptcp import MptcpFlow
 from .net import Network, Route, mbps_to_pps, pps_to_mbps
+from .obs import (
+    NULL_TRACE,
+    JsonlSink,
+    MemorySink,
+    SeriesRecorder,
+    TraceBus,
+    validate_event,
+)
 from .sim import Simulation
 from .tcp import TcpFlow, TcpReceiver, TcpSender
 
@@ -37,18 +48,23 @@ __all__ = [
     "CongestionController",
     "CoupledController",
     "EwtcpController",
+    "JsonlSink",
     "LinkedIncreasesController",
+    "MemorySink",
     "MptcpController",
     "MptcpFlow",
+    "NULL_TRACE",
     "Network",
     "RenoController",
     "Route",
     "SemicoupledController",
+    "SeriesRecorder",
     "Simulation",
     "Table",
     "TcpFlow",
     "TcpReceiver",
     "TcpSender",
+    "TraceBus",
     "UncoupledController",
     "jain_index",
     "make_controller",
@@ -56,5 +72,7 @@ __all__ = [
     "mbps_to_pps",
     "measure",
     "pps_to_mbps",
+    "standard_series",
+    "validate_event",
     "__version__",
 ]

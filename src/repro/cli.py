@@ -9,6 +9,12 @@ writing harness code:
     python -m repro wireless --algo mptcp --duration 60
     python -m repro torus --capacity-c 250 --algo mptcp
     python -m repro fattree --k 4 --algo mptcp --paths 4
+
+Observability (see docs/OBSERVABILITY.md for the event schema):
+
+    python -m repro trace --scenario quickstart --out trace.jsonl
+    python -m repro trace-validate trace.jsonl
+    python -m repro series --scenario twolinks --out series.csv
 """
 
 from __future__ import annotations
@@ -19,10 +25,17 @@ from typing import List, Optional
 
 from .core.registry import ALGORITHMS
 from .harness.datacenter import run_matrix
-from .harness.experiment import make_flow, measure
+from .harness.experiment import make_flow, measure, standard_series
 from .harness.table import Table
 from .metrics import jain_index
 from .net.network import pps_to_mbps
+from .obs import (
+    EVENT_TYPES,
+    JsonlSink,
+    TraceBus,
+    TraceSchemaError,
+    validate_jsonl,
+)
 from .sim.simulation import Simulation
 from .topology import (
     FatTree,
@@ -155,6 +168,101 @@ def _cmd_fattree(args) -> int:
     return 0
 
 
+#: Scenarios the observability commands can build (small, fast shapes that
+#: cover single-path, multipath and wireless instrumentation).
+OBS_SCENARIOS = ("quickstart", "twolinks", "wireless")
+
+
+def _build_obs_scenario(sim: Simulation, scenario: str, algo: str):
+    """Build one of :data:`OBS_SCENARIOS`; returns (flows, queues)."""
+    if scenario in ("quickstart", "twolinks"):
+        sc = build_two_links(
+            sim, 1000.0, 1000.0, delay1=0.05, delay2=0.05,
+            buffer1_pkts=100, buffer2_pkts=100,
+        )
+        queues = [sc.net.link("s1", "d1").queue, sc.net.link("s2", "d2").queue]
+        flows = {}
+        if scenario == "quickstart":
+            # The examples/quickstart.py shape: a single-path TCP sharing
+            # link 1 with a two-path multipath flow.
+            tcp = make_flow(sim, sc.routes("link1"), "reno", name="tcp")
+            tcp.start()
+            flows["tcp"] = tcp
+        multi = make_flow(sim, sc.routes("multi"), algo, name="mptcp")
+        multi.start(at=0.1)
+        flows["mptcp"] = multi
+        return flows, queues
+    if scenario == "wireless":
+        wifi = build_wifi_path(sim)
+        threeg = build_3g_path(sim)
+        flow = make_flow(
+            sim, [wifi.route("m.wifi"), threeg.route("m.3g")], algo, name="m"
+        )
+        flow.start()
+        return {"m": flow}, [wifi.queue, threeg.queue]
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+def _cmd_trace(args) -> int:
+    if args.events:
+        events = {e.strip() for e in args.events.split(",") if e.strip()}
+        unknown = events - set(EVENT_TYPES)
+        if unknown:
+            print(f"unknown event types: {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+    else:
+        # engine.event_fired is one record per scheduler dispatch — orders
+        # of magnitude more volume than the rest; opt in explicitly.
+        events = set(EVENT_TYPES) - {"engine.event_fired"}
+    to_stdout = args.out == "-"
+    sink = JsonlSink(sys.stdout if to_stdout else args.out)
+    bus = TraceBus(sinks=[sink], events=events)
+    sim = Simulation(seed=args.seed, trace=bus)
+    _build_obs_scenario(sim, args.scenario, args.algo)
+    sim.run_until(args.duration)
+    sim.finish()
+    bus.close()
+    log = sys.stderr if to_stdout else sys.stdout
+    print(f"wrote {sink.records_written} events "
+          f"({args.scenario}, {args.algo}, {args.duration:.0f}s simulated)"
+          + ("" if to_stdout else f" to {args.out}"), file=log)
+    return 0
+
+
+def _cmd_trace_validate(args) -> int:
+    try:
+        count = validate_jsonl(args.path)
+    except TraceSchemaError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc.strerror}", file=sys.stderr)
+        return 1
+    print(f"OK: {count} events conform to the trace schema")
+    return 0
+
+
+def _cmd_series(args) -> int:
+    sim = Simulation(seed=args.seed)
+    flows, queues = _build_obs_scenario(sim, args.scenario, args.algo)
+    rec = standard_series(
+        sim, flows, queues=queues, interval=args.interval, warmup=args.warmup
+    )
+    sim.run_until(args.warmup + args.duration)
+    sim.finish()
+    to_stdout = args.out == "-"
+    target = sys.stdout if to_stdout else args.out
+    if args.format == "csv":
+        rec.to_csv(target)
+    else:
+        rec.to_jsonl(target)
+    log = sys.stderr if to_stdout else sys.stdout
+    print(f"wrote {len(rec.rows)} samples x {len(rec.probe_names)} probes"
+          + ("" if to_stdout else f" to {args.out}"), file=log)
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -207,6 +315,40 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--buffer", type=int, default=100)
     p.add_argument("--paths", type=int, default=4)
     p.set_defaults(func=_cmd_fattree)
+
+    p = sub.add_parser(
+        "trace", help="run a scenario with event tracing, emit JSONL"
+    )
+    p.add_argument("--scenario", choices=OBS_SCENARIOS, default="quickstart")
+    p.add_argument("--algo", default="mptcp", choices=sorted(ALGORITHMS))
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--duration", type=float, default=10.0,
+                   help="simulated seconds to trace")
+    p.add_argument("--out", default="-",
+                   help="output JSONL path ('-' for stdout)")
+    p.add_argument("--events", default=None,
+                   help="comma-separated event types to record (default: "
+                        "all except engine.event_fired)")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "trace-validate",
+        help="validate a JSONL trace against the documented schema",
+    )
+    p.add_argument("path", help="JSONL trace file to check")
+    p.set_defaults(func=_cmd_trace_validate)
+
+    p = sub.add_parser(
+        "series", help="record per-flow/per-queue time series (CSV/JSONL)"
+    )
+    p.add_argument("--scenario", choices=OBS_SCENARIOS, default="quickstart")
+    common(p)
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="sampling period, simulated seconds")
+    p.add_argument("--format", choices=("csv", "jsonl"), default="csv")
+    p.add_argument("--out", default="-",
+                   help="output path ('-' for stdout)")
+    p.set_defaults(func=_cmd_series)
     return parser
 
 

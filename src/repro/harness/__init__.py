@@ -1,7 +1,7 @@
 """Experiment harness: flow construction, measurement, sweeps and tables."""
 
 from .datacenter import DataCenterRun, run_matrix
-from .experiment import Measurement, make_flow, measure
+from .experiment import Measurement, make_flow, measure, standard_series
 from .plotting import ascii_bars, ascii_timeseries
 from .sweep import grid_points, sweep
 from .table import Table, format_value
@@ -17,5 +17,6 @@ __all__ = [
     "make_flow",
     "run_matrix",
     "measure",
+    "standard_series",
     "sweep",
 ]

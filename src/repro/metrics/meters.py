@@ -4,6 +4,16 @@ Experiments measure goodput as in-order deliveries per second over a
 measurement window (discarding warm-up), and link congestion as the drop
 fraction at each queue over the same window.  :class:`ThroughputMeter`
 samples any monotonic counter; :class:`LossMeter` snapshots queue counters.
+:func:`windowed_rate` averages a counter delta over a window and raises
+``ValueError`` when the window is not positive.
+
+.. deprecated:: 1.1
+    For new code prefer :class:`repro.obs.series.SeriesRecorder`, which
+    generalises :class:`ThroughputMeter` to many aligned probes (cwnd, RTT,
+    queue depth, goodput) with warm-up discard and CSV/JSONL export, and
+    subsumes :class:`LossMeter` via rate probes over ``queue.drops`` /
+    ``queue.arrivals``.  These classes keep working and are not scheduled
+    for removal; they simply stopped growing features.
 """
 
 from __future__ import annotations
@@ -17,7 +27,13 @@ __all__ = ["ThroughputMeter", "LossMeter", "windowed_rate"]
 
 
 def windowed_rate(counter_before: int, counter_after: int, window: float) -> float:
-    """Average rate of a monotonic counter over a window of seconds."""
+    """Average rate of a monotonic counter over a window of seconds.
+
+    Raises
+    ------
+    ValueError
+        If ``window`` is zero or negative (``window <= 0``).
+    """
     if window <= 0:
         raise ValueError(f"window must be positive, got {window!r}")
     return (counter_after - counter_before) / window
@@ -25,6 +41,11 @@ def windowed_rate(counter_before: int, counter_after: int, window: float) -> flo
 
 class ThroughputMeter:
     """Periodically samples a counter and records (time, rate) points.
+
+    .. deprecated:: 1.1
+        Prefer ``SeriesRecorder.add_rate_probe`` from
+        :mod:`repro.obs.series` — same semantics, plus aligned multi-probe
+        rows, warm-up discard and CSV/JSONL export.
 
     >>> meter = ThroughputMeter(sim, lambda: flow.packets_delivered, 1.0)
     >>> meter.start()
@@ -74,7 +95,12 @@ class ThroughputMeter:
 
 class LossMeter:
     """Measures per-queue loss rates over an interval by snapshotting the
-    arrival/drop counters."""
+    arrival/drop counters.
+
+    .. deprecated:: 1.1
+        Prefer :mod:`repro.obs.series` rate probes over ``queue.drops`` and
+        ``queue.arrivals`` (or ``pkt.drop`` trace events) for new code.
+    """
 
     def __init__(self, queues: List[DropTailQueue]):
         self.queues = list(queues)

@@ -44,10 +44,12 @@ class MptcpConnection:
         name: str = "mptcp",
         enable_reinjection: bool = False,
         reinjection_timeout_threshold: int = 2,
+        trace=None,
     ):
         self.sim = sim
         self.controller = controller
         self.name = name
+        self.trace = sim.trace if trace is None else trace
         self.scheduler = DsnScheduler(limit=transfer_packets)
         self.subflows: List[MptcpSubflow] = []
         self.data_acked = 0              # connection-level cumulative ACK
@@ -96,6 +98,14 @@ class MptcpConnection:
         if data_ack is not None and data_ack > self.data_acked:
             self.data_acked = data_ack
             self.scheduler.drop_reinjections_below(data_ack)
+            if self.trace.enabled:
+                self.trace.emit(
+                    "mptcp.dsn_ack",
+                    self.sim.now,
+                    conn=self.name,
+                    data_ack=data_ack,
+                    rwnd=self.peer_rwnd,
+                )
             opened = True
             self._check_complete()
         if opened and not self.completed:

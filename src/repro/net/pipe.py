@@ -57,7 +57,7 @@ class LossyPipe(Pipe):
     reproducible.
     """
 
-    __slots__ = ("loss_prob", "drops", "rng")
+    __slots__ = ("loss_prob", "drops", "rng", "trace")
 
     def __init__(
         self,
@@ -66,6 +66,7 @@ class LossyPipe(Pipe):
         loss_prob: float,
         name: str = "",
         rng: Optional[random.Random] = None,
+        trace=None,
     ):
         if not 0.0 <= loss_prob < 1.0:
             raise ValueError(f"loss_prob must be in [0, 1), got {loss_prob!r}")
@@ -73,9 +74,19 @@ class LossyPipe(Pipe):
         self.loss_prob = float(loss_prob)
         self.drops = 0
         self.rng = rng if rng is not None else sim.rng
+        self.trace = sim.trace if trace is None else trace
 
     def receive(self, packet: Packet) -> None:
         if self.loss_prob > 0.0 and self.rng.random() < self.loss_prob:
             self.drops += 1
+            if self.trace.enabled:
+                self.trace.emit(
+                    "pkt.drop",
+                    self.sim.now,
+                    elem=self.name,
+                    kind="pipe",
+                    flow=getattr(packet.flow, "name", None),
+                    seq=getattr(packet, "seq", None),
+                )
             return
         super().receive(packet)

@@ -53,6 +53,7 @@ class DropTailQueue:
         "capacity",
         "name",
         "jitter",
+        "trace",
         "_buffer",
         "_busy",
         "arrivals",
@@ -68,6 +69,7 @@ class DropTailQueue:
         capacity: int,
         name: str = "",
         jitter: Optional[float] = None,
+        trace=None,
     ):
         if rate_pps <= 0:
             raise ValueError(f"queue rate must be positive, got {rate_pps!r}")
@@ -80,6 +82,7 @@ class DropTailQueue:
         self.jitter = self.DEFAULT_JITTER if jitter is None else float(jitter)
         if not 0.0 <= self.jitter < 1.0:
             raise ValueError(f"jitter must be in [0, 1), got {jitter!r}")
+        self.trace = sim.trace if trace is None else trace
         self._buffer: deque = deque()
         self._busy = False
         self.arrivals = 0
@@ -115,10 +118,34 @@ class DropTailQueue:
             self._drop(packet)
             return
         self._buffer.append(packet)
+        if self.trace.enabled:
+            self._trace_enqueue(packet)
         if not self._busy:
             self._start_service()
 
+    def _trace_enqueue(self, packet: Packet) -> None:
+        self.trace.emit(
+            "pkt.enqueue",
+            self.sim.now,
+            queue=self.name,
+            flow=getattr(packet.flow, "name", None),
+            seq=getattr(packet, "seq", None),
+            occ=len(self._buffer),
+            dsn=getattr(packet, "dsn", None),
+            size=packet.size,
+        )
+
     def _drop(self, packet: Packet) -> None:
+        if self.trace.enabled:
+            self.trace.emit(
+                "pkt.drop",
+                self.sim.now,
+                elem=self.name,
+                kind="queue",
+                flow=getattr(packet.flow, "name", None),
+                seq=getattr(packet, "seq", None),
+                occ=len(self._buffer),
+            )
         if self.drop_hook is not None:
             self.drop_hook(packet)
 
@@ -158,11 +185,12 @@ class VariableRateQueue(DropTailQueue):
 
     __slots__ = ("_stalled",)
 
-    def __init__(self, sim, rate_pps, capacity, name="", jitter=None):
+    def __init__(self, sim, rate_pps, capacity, name="", jitter=None, trace=None):
         # Allow constructing in the stalled state with rate 0.
         stalled = rate_pps <= 0
         super().__init__(
-            sim, rate_pps if not stalled else 1.0, capacity, name, jitter=jitter
+            sim, rate_pps if not stalled else 1.0, capacity, name,
+            jitter=jitter, trace=trace,
         )
         self._stalled = stalled
         if stalled:
@@ -183,6 +211,8 @@ class VariableRateQueue(DropTailQueue):
             self._drop(packet)
             return
         self._buffer.append(packet)
+        if self.trace.enabled:
+            self._trace_enqueue(packet)
         if not self._busy and not self._stalled:
             self._start_service()
 

@@ -1,0 +1,218 @@
+"""Machine-readable trace event schema, and validators against it.
+
+This module is the single source of truth for what each trace event type
+carries; ``docs/OBSERVABILITY.md`` is the prose rendering of the same
+tables, and ``python -m repro trace-validate`` (used by ``make trace-demo``)
+checks emitted JSONL against it.
+
+Every record has the three :data:`COMMON_FIELDS`; per-type payloads are
+described by :data:`EVENT_TYPES`, mapping event-type name to a dict of
+``field name -> FieldSpec``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, NamedTuple, Tuple
+
+__all__ = [
+    "FieldSpec",
+    "COMMON_FIELDS",
+    "EVENT_TYPES",
+    "TraceSchemaError",
+    "validate_event",
+    "validate_jsonl",
+]
+
+
+class FieldSpec(NamedTuple):
+    """Schema entry for one event field."""
+
+    types: Tuple[type, ...]   # accepted Python/JSON types
+    required: bool            # must be present in every record of the type
+    nullable: bool            # may be JSON null / Python None
+    description: str          # prose, with units where applicable
+
+
+#: Fields present on every record, regardless of type.
+COMMON_FIELDS: Dict[str, FieldSpec] = {
+    "ev": FieldSpec((str,), True, False, "event type name"),
+    "t": FieldSpec((int, float), True, False, "simulated time, seconds"),
+    "i": FieldSpec((int,), True, False,
+                   "monotonic emission index (total order over the run)"),
+}
+
+_FLOW = FieldSpec((str,), True, True,
+                  "name of the (sub)flow the packet belongs to")
+
+#: Event-type name -> payload field schema.
+EVENT_TYPES: Dict[str, Dict[str, FieldSpec]] = {
+    "pkt.enqueue": {
+        "queue": FieldSpec((str,), True, False, "queue name"),
+        "flow": _FLOW,
+        "seq": FieldSpec((int,), True, True,
+                         "subflow sequence number (packets; null for "
+                         "non-TCP payloads)"),
+        "occ": FieldSpec((int,), True, False,
+                         "queue occupancy after the enqueue, packets"),
+        "dsn": FieldSpec((int,), False, True,
+                         "connection-level data sequence number"),
+        "size": FieldSpec((int, float), False, False,
+                          "transmission size, MSS units"),
+    },
+    "pkt.drop": {
+        "elem": FieldSpec((str,), True, False,
+                          "name of the dropping element"),
+        "kind": FieldSpec((str,), True, False,
+                          "'queue' (buffer overflow) or 'pipe' "
+                          "(random media loss)"),
+        "flow": _FLOW,
+        "seq": FieldSpec((int,), True, True,
+                         "subflow sequence number of the dropped packet"),
+        "occ": FieldSpec((int,), False, False,
+                         "queue occupancy at drop time, packets "
+                         "(queue drops only)"),
+    },
+    "pkt.deliver": {
+        "flow": _FLOW,
+        "seq": FieldSpec((int,), True, False,
+                         "subflow sequence number delivered in order"),
+        "dsn": FieldSpec((int,), False, True,
+                         "connection-level data sequence number"),
+    },
+    "cc.cwnd_update": {
+        "flow": _FLOW,
+        "cwnd": FieldSpec((int, float), True, False,
+                          "congestion window after the update, packets"),
+        "ssthresh": FieldSpec((int, float), True, True,
+                              "slow-start threshold, packets (null while "
+                              "still unset/infinite)"),
+        "reason": FieldSpec((str,), True, False,
+                            "'ack' | 'loss' | 'timeout' | 'recovery_exit'"),
+    },
+    "tcp.timeout": {
+        "flow": _FLOW,
+        "rto": FieldSpec((int, float), True, False,
+                         "backed-off retransmission timeout, seconds"),
+        "cwnd": FieldSpec((int, float), True, False,
+                          "congestion window at expiry (before the "
+                          "collapse to min_cwnd), packets"),
+    },
+    "tcp.fast_retransmit": {
+        "flow": _FLOW,
+        "seq": FieldSpec((int,), True, False,
+                         "subflow sequence number being retransmitted"),
+    },
+    "mptcp.dsn_ack": {
+        "conn": FieldSpec((str,), True, False, "connection name"),
+        "data_ack": FieldSpec((int,), True, False,
+                              "connection-level cumulative data ACK, "
+                              "packets"),
+        "rwnd": FieldSpec((int,), True, True,
+                          "advertised receive window, packets (null when "
+                          "the receiver is unconstrained)"),
+    },
+    "engine.event_fired": {
+        "seq": FieldSpec((int,), True, False,
+                         "scheduler sequence number of the fired event"),
+        "cb": FieldSpec((str,), True, False,
+                        "qualified name of the callback"),
+    },
+}
+
+#: Valid values for the ``reason`` field of ``cc.cwnd_update``.
+CWND_UPDATE_REASONS = ("ack", "loss", "timeout", "recovery_exit")
+
+
+class TraceSchemaError(ValueError):
+    """Raised by :func:`validate_jsonl` on the first invalid record."""
+
+
+def validate_event(record: dict) -> List[str]:
+    """Check one record against the schema; returns a list of problems
+    (empty when the record is valid)."""
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return [f"record is not an object: {record!r}"]
+    for name, spec in COMMON_FIELDS.items():
+        problems.extend(_check_field(record, name, spec))
+    ev = record.get("ev")
+    if not isinstance(ev, str):
+        return problems
+    payload_schema = EVENT_TYPES.get(ev)
+    if payload_schema is None:
+        problems.append(f"unknown event type {ev!r}")
+        return problems
+    for name, spec in payload_schema.items():
+        problems.extend(_check_field(record, name, spec))
+    for name in record:
+        if name not in COMMON_FIELDS and name not in payload_schema:
+            problems.append(f"{ev}: undocumented field {name!r}")
+    if ev == "cc.cwnd_update":
+        reason = record.get("reason")
+        if reason is not None and reason not in CWND_UPDATE_REASONS:
+            problems.append(f"cc.cwnd_update: unknown reason {reason!r}")
+    return problems
+
+
+def _check_field(record: dict, name: str, spec: FieldSpec) -> List[str]:
+    ev = record.get("ev", "?")
+    if name not in record:
+        if spec.required:
+            return [f"{ev}: missing required field {name!r}"]
+        return []
+    value = record[name]
+    if value is None:
+        if not spec.nullable:
+            return [f"{ev}: field {name!r} must not be null"]
+        return []
+    # bool is an int subclass; no trace field is boolean, so reject it.
+    if isinstance(value, bool) or not isinstance(value, spec.types):
+        return [
+            f"{ev}: field {name!r} has type {type(value).__name__}, "
+            f"expected one of {[t.__name__ for t in spec.types]}"
+        ]
+    return []
+
+
+def validate_jsonl(path: str) -> int:
+    """Validate a JSONL trace file; returns the number of records checked.
+
+    Raises :class:`TraceSchemaError` on the first malformed line or
+    schema violation, with the line number in the message.  Also checks
+    that the emission index ``i`` is strictly increasing and timestamps
+    never go backwards (the bus guarantees both).
+    """
+    count = 0
+    last_i = -1
+    last_t = float("-inf")
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceSchemaError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+            problems = validate_event(record)
+            if problems:
+                raise TraceSchemaError(
+                    f"{path}:{lineno}: " + "; ".join(problems)
+                )
+            if record["i"] <= last_i:
+                raise TraceSchemaError(
+                    f"{path}:{lineno}: emission index not increasing "
+                    f"({record['i']} after {last_i})"
+                )
+            if record["t"] < last_t:
+                raise TraceSchemaError(
+                    f"{path}:{lineno}: time went backwards "
+                    f"({record['t']} after {last_t})"
+                )
+            last_i = record["i"]
+            last_t = record["t"]
+            count += 1
+    return count

@@ -17,6 +17,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Optional
 
+from ..obs.trace import NULL_TRACE
+
 __all__ = ["EventScheduler", "EventHandle", "SimulationError"]
 
 
@@ -61,13 +63,16 @@ class EventScheduler:
         sched.run_until(10.0)
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_events_run")
+    __slots__ = ("now", "_heap", "_seq", "_events_run", "trace")
 
-    def __init__(self) -> None:
+    def __init__(self, trace=None) -> None:
         self.now: float = 0.0
         self._heap: list = []
         self._seq = itertools.count()
         self._events_run = 0
+        #: Trace bus for ``engine.event_fired`` events; the no-op singleton
+        #: by default so the dispatch loop pays one attribute check.
+        self.trace = NULL_TRACE if trace is None else trace
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -108,12 +113,18 @@ class EventScheduler:
     def step(self) -> bool:
         """Run the next pending event.  Returns False if none remain."""
         heap = self._heap
+        trace = self.trace
         while heap:
-            time, _seq, handle, callback, arg = heapq.heappop(heap)
+            time, seq, handle, callback, arg = heapq.heappop(heap)
             if handle._cancelled:
                 continue
             self.now = time
             self._events_run += 1
+            if trace.enabled:
+                trace.emit(
+                    "engine.event_fired", time, seq=seq,
+                    cb=getattr(callback, "__qualname__", repr(callback)),
+                )
             if arg is None:
                 callback()
             else:
@@ -128,8 +139,9 @@ class EventScheduler:
         earlier), so successive ``run_until`` calls compose naturally.
         """
         heap = self._heap
+        trace = self.trace
         while heap:
-            time, _seq, handle, callback, arg = heap[0]
+            time, seq, handle, callback, arg = heap[0]
             if time > end_time:
                 break
             heapq.heappop(heap)
@@ -137,6 +149,11 @@ class EventScheduler:
                 continue
             self.now = time
             self._events_run += 1
+            if trace.enabled:
+                trace.emit(
+                    "engine.event_fired", time, seq=seq,
+                    cb=getattr(callback, "__qualname__", repr(callback)),
+                )
             if arg is None:
                 callback()
             else:

@@ -10,6 +10,7 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, List, Optional
 
+from ..obs.trace import NULL_TRACE
 from .engine import EventScheduler
 
 __all__ = ["Simulation"]
@@ -21,10 +22,17 @@ class Simulation:
     All simulator components take a ``Simulation`` in their constructor and
     use ``sim.scheduler`` for timing and ``sim.rng`` for randomness, so that
     a run is a pure function of the scenario and the seed.
+
+    Passing a :class:`~repro.obs.trace.TraceBus` as ``trace`` turns on
+    structured event tracing for every component built on this simulation
+    (components resolve their default ``trace=`` keyword to ``sim.trace``).
+    Without one, ``sim.trace`` is the no-op singleton and instrumented hot
+    paths pay a single attribute check.
     """
 
-    def __init__(self, seed: int = 1):
-        self.scheduler = EventScheduler()
+    def __init__(self, seed: int = 1, trace=None):
+        self.trace = NULL_TRACE if trace is None else trace
+        self.scheduler = EventScheduler(trace=self.trace)
         self.seed = seed
         self.rng = random.Random(seed)
         self._components: List[Any] = []
@@ -64,9 +72,11 @@ class Simulation:
         self._at_end.append(callback)
 
     def finish(self) -> None:
-        """Invoke end-of-run callbacks (e.g. to flush metric samples)."""
+        """Invoke end-of-run callbacks (e.g. to flush metric samples) and
+        flush any trace sinks."""
         for callback in self._at_end:
             callback()
+        self.trace.flush()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulation(seed={self.seed}, now={self.now:.3f})"

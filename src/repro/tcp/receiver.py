@@ -49,10 +49,12 @@ class TcpReceiver:
         enable_sack: bool = True,
         delayed_ack: int = 2,
         delack_timeout: float = 0.040,
+        trace=None,
     ):
         self.sim = sim
         self.name = name
         self.enable_sack = enable_sack
+        self.trace = sim.trace if trace is None else trace
         if delayed_ack < 1:
             raise ValueError(f"delayed_ack must be >= 1, got {delayed_ack!r}")
         self.delayed_ack = delayed_ack
@@ -132,6 +134,14 @@ class TcpReceiver:
     def _deliver(self, packet: DataPacket) -> None:
         self.expected = packet.seq + 1
         self.packets_delivered += 1
+        if self.trace.enabled:
+            self.trace.emit(
+                "pkt.deliver",
+                self.sim.now,
+                flow=getattr(packet.flow, "name", self.name),
+                seq=packet.seq,
+                dsn=packet.dsn,
+            )
         if self.on_deliver is not None:
             self.on_deliver(packet)
 

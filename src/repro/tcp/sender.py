@@ -58,12 +58,14 @@ class TcpSender:
         max_cwnd: float = 1e9,
         min_rto: float = 0.2,
         enable_sack: bool = True,
+        trace=None,
     ):
         self.sim = sim
         self.controller = controller
         self.source = source if source is not None else InfiniteSource()
         self.name = name
         self.enable_sack = enable_sack
+        self.trace = sim.trace if trace is None else trace
 
         # Window state (packets).
         self.cwnd = float(init_cwnd)
@@ -255,7 +257,23 @@ class TcpSender:
 
     def _fast_retransmit(self, seq: int) -> None:
         """Resend one specific segment without touching highest_sent."""
+        if self.trace.enabled:
+            self.trace.emit(
+                "tcp.fast_retransmit", self.sim.now, flow=self.name, seq=seq
+            )
         self._transmit(seq, self._dsn_map.get(seq), is_retransmit=True)
+
+    def _trace_cwnd(self, reason: str) -> None:
+        """Emit a ``cc.cwnd_update`` event (callers guard on enabled)."""
+        ssthresh = self.ssthresh
+        self.trace.emit(
+            "cc.cwnd_update",
+            self.sim.now,
+            flow=self.name,
+            cwnd=self.cwnd,
+            ssthresh=None if ssthresh == float("inf") else ssthresh,
+            reason=reason,
+        )
 
     # ------------------------------------------------------------------
     # ACK processing
@@ -311,6 +329,8 @@ class TcpSender:
                 self._lost.clear()
                 self._rtx.clear()
                 self.cwnd = max(self.min_cwnd, min(self.cwnd, self.ssthresh))
+                if self.trace.enabled:
+                    self._trace_cwnd("recovery_exit")
             else:
                 # Partial ACK (NewReno): the hole at the new cumulative ACK
                 # point was also lost.
@@ -334,6 +354,8 @@ class TcpSender:
             if self.cwnd >= self.max_cwnd:
                 self.cwnd = self.max_cwnd
                 break
+        if self.trace.enabled:
+            self._trace_cwnd("ack")
 
     def _on_dup_ack(self) -> None:
         self.dup_acks += 1
@@ -352,6 +374,8 @@ class TcpSender:
         self.loss_events += 1
         self.controller.on_loss(self)
         self.ssthresh = max(self.cwnd, self.min_cwnd)
+        if self.trace.enabled:
+            self._trace_cwnd("loss")
         self.recover_seq = self.highest_sent
         self.in_recovery = True
         self._lost.clear()
@@ -454,12 +478,22 @@ class TcpSender:
         """RTO: collapse to one packet, back off, go-back-N."""
         self.timeouts += 1
         self.rtt.back_off()
+        if self.trace.enabled:
+            self.trace.emit(
+                "tcp.timeout",
+                self.sim.now,
+                flow=self.name,
+                rto=self.rtt.rto,
+                cwnd=self.cwnd,
+            )
         # Clear the stale deadline so maybe_send() arms a fresh timer with
         # the backed-off RTO (leaving it would re-fire at the same instant).
         self._timer_deadline = None
         self.controller.on_timeout(self)
         self.ssthresh = max(self.cwnd / 2.0, 2.0)
         self.cwnd = self.min_cwnd
+        if self.trace.enabled:
+            self._trace_cwnd("timeout")
         self.in_recovery = False
         self.dup_acks = 0
         self._lost.clear()

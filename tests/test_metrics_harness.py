@@ -56,6 +56,18 @@ class TestMeters:
         with pytest.raises(ValueError):
             windowed_rate(0, 1, 0.0)
 
+    def test_windowed_rate_rejects_nonpositive_window(self):
+        # Regression: the raise on window <= 0 is documented behaviour
+        # (module docstring + docs/API.md), not an accident — both zero
+        # and negative windows must raise, with the offending value named.
+        with pytest.raises(ValueError, match="window must be positive"):
+            windowed_rate(0, 10, 0.0)
+        with pytest.raises(ValueError, match="-2.5"):
+            windowed_rate(0, 10, -2.5)
+        # ... and a positive window keeps working, including negative
+        # deltas (callers may pass re-baselined counters).
+        assert windowed_rate(10, 5, 5.0) == -1.0
+
     def test_throughput_meter_samples(self):
         sim = Simulation()
         counter = {"n": 0}
