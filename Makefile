@@ -2,15 +2,19 @@
 #
 #   make test        tier-1 test suite
 #   make obs-test    observability-layer tests only (pytest -m obs)
+#   make sweep-test  parallel experiment-runner tests only (pytest -m sweep)
 #   make bench       paper tables/figures + simulator microbenchmarks
 #   make trace-demo  quickstart with tracing on, JSONL validated against
 #                    the schema in docs/OBSERVABILITY.md
+#   make sweep-demo  8-point grid over 2 workers, rerun warm from the
+#                    result cache, progress trace validated
 
 PYTHON    ?= python
 PP        := PYTHONPATH=src
 TRACE_OUT ?= quickstart-trace.jsonl
+SWEEP_CACHE ?= .sweep-demo-cache
 
-.PHONY: test obs-test bench trace-demo
+.PHONY: test obs-test sweep-test bench trace-demo sweep-demo
 
 test:
 	$(PP) $(PYTHON) -m pytest -x -q
@@ -18,9 +22,20 @@ test:
 obs-test:
 	$(PP) $(PYTHON) -m pytest -m obs -q
 
+sweep-test:
+	$(PP) $(PYTHON) -m pytest -m sweep -q
+
 bench:
 	$(PP) $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 trace-demo:
 	$(PP) $(PYTHON) examples/quickstart.py --trace $(TRACE_OUT)
 	$(PP) $(PYTHON) -m repro trace-validate $(TRACE_OUT)
+
+sweep-demo:
+	rm -rf $(SWEEP_CACHE)
+	$(PP) $(PYTHON) -m repro sweep demo_rtt --parallel 2 \
+		--cache-dir $(SWEEP_CACHE) --trace sweep-demo-trace.jsonl
+	$(PP) $(PYTHON) -m repro sweep demo_rtt --parallel 2 \
+		--cache-dir $(SWEEP_CACHE) --trace sweep-demo-trace.jsonl
+	$(PP) $(PYTHON) -m repro trace-validate sweep-demo-trace.jsonl

@@ -6,47 +6,39 @@ flow M's throughput divided by the better of S1 and S2.  Paper claims the
 ratio is within a few percent of 1 except at very small bandwidth-delay
 products on link 2 (timeout-dominated), and that M always beats the best
 single path it could have used alone, by ~15 % on average.
+
+The 16-point C2 x RTT2 grid runs through the parallel experiment runner
+(`repro.exp`); the point function is `repro.exp.grids.rtt_ratio` and the
+grid is `repro.topology.scenarios.SWEEP_GRIDS["fig16_rtt"]` — the same
+sweep is one command away as `python -m repro sweep fig16_rtt --parallel
+4`.  Serial-vs-parallel wall-clock for the runner itself is recorded by
+`test_bench_sweep_scaling.py`.
 """
 
-from repro import Simulation, Table, make_flow, measure
-from repro.topology import build_two_links
+import os
+import time
+
+from repro import Runner, Table, specs_for_grid
+from repro.topology import SWEEP_GRIDS
 
 from conftest import record
 
-C2_VALUES = (400.0, 800.0, 1600.0, 3200.0)
-RTT2_VALUES = (0.012, 0.050, 0.200, 0.800)
-
-
-def run_point(c2: float, rtt2: float, seed: int = 141) -> float:
-    sim = Simulation(seed=seed)
-    sc = build_two_links(
-        sim,
-        rate1_pps=400.0, rate2_pps=c2,
-        delay1=0.050, delay2=rtt2 / 2.0,
-        buffer1_pkts=40, buffer2_pkts=max(8, int(c2 * rtt2)),
-    )
-    s1 = make_flow(sim, sc.routes("link1"), "reno", name="S1")
-    s2 = make_flow(sim, sc.routes("link2"), "reno", name="S2")
-    m = make_flow(sim, sc.routes("multi"), "mptcp", name="M")
-    s1.start()
-    s2.start(at=0.2)
-    m.start(at=0.4)
-    result = measure(
-        sim, {"S1": s1, "S2": s2, "M": m}, warmup=25.0, duration=70.0
-    )
-    return result["M"] / max(result["S1"], result["S2"])
+_PARAMS = SWEEP_GRIDS["fig16_rtt"]["parameters"]
+C2_VALUES = tuple(_PARAMS["c2"])
+RTT2_VALUES = tuple(_PARAMS["rtt2"])
+WORKERS = min(4, os.cpu_count() or 1)
 
 
 def run_experiment():
-    return {
-        (c2, rtt2): run_point(c2, rtt2)
-        for c2 in C2_VALUES
-        for rtt2 in RTT2_VALUES
-    }
+    runner = Runner(parallel=WORKERS)
+    rows = runner.run(specs_for_grid("fig16_rtt"))
+    return {(row["c2"], row["rtt2"]): row["ratio"] for row in rows}
 
 
 def test_fig16_rtt_sweep(benchmark):
+    start = time.monotonic()
     ratios = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    wall = time.monotonic() - start
     table = Table(
         ["C2 (pkt/s)"] + [f"RTT2={int(r * 1000)}ms" for r in RTT2_VALUES],
         precision=2,
@@ -55,7 +47,9 @@ def test_fig16_rtt_sweep(benchmark):
         table.add_row([int(c2)] + [ratios[(c2, r)] for r in RTT2_VALUES])
     record("fig16_rtt_sweep", table.render(
         "Fig 16: M's throughput / best(S1, S2) "
-        "(paper: ~1.0 except tiny BDP on link 2)"
+        "(paper: ~1.0 except tiny BDP on link 2)\n"
+        f"(16-point grid via repro.exp runner, {WORKERS} worker(s) on "
+        f"{os.cpu_count()} CPU(s), {wall:.1f}s wall)"
     ))
 
     comfortable = [

@@ -6,46 +6,45 @@ link C is varied and the imbalance of loss rates (pA vs pC) measured.
 Paper claims: COUPLED balances congestion very well, EWTCP badly, MPTCP in
 between; at C = 100 pkt/s Jain's index over flow totals is 0.99 (COUPLED),
 0.986 (MPTCP), 0.92 (EWTCP).
+
+The 12-point algo x capacity grid runs through the parallel experiment
+runner (`repro.exp`); the point function is
+`repro.exp.grids.torus_balance` and the grid is
+`repro.topology.scenarios.SWEEP_GRIDS["fig8_torus"]` — the same sweep is
+one command away as `python -m repro sweep fig8_torus --parallel 4`.
+Serial-vs-parallel wall-clock for the runner itself is recorded by
+`test_bench_sweep_scaling.py`.
 """
 
-from repro import Simulation, Table, jain_index, make_flow, measure
-from repro.topology import build_torus
+import os
+import time
+
+from repro import Runner, Table, specs_for_grid
+from repro.topology import SWEEP_GRIDS
 
 from conftest import record
 
-CAPACITIES = (1000, 500, 250, 100)
+CAPACITIES = tuple(
+    int(c) for c in SWEEP_GRIDS["fig8_torus"]["parameters"]["capacity_c"]
+)
 PAPER_JAIN_AT_100 = {"coupled": 0.99, "mptcp": 0.986, "ewtcp": 0.92}
-
-
-def run_point(algo: str, cap_c: float, seed: int = 9):
-    rates = [1000.0, 1000.0, float(cap_c), 1000.0, 1000.0]
-    sim = Simulation(seed=seed)
-    sc = build_torus(sim, rates, delay=0.05)
-    flows = {}
-    for i in range(5):
-        f = make_flow(sim, sc.routes(f"f{i}"), algo, name=f"f{i}")
-        f.start(at=0.1 * i)
-        flows[f"f{i}"] = f
-    sim.run_until(25.0)
-    queues = [sc.net.link(f"in{i}", f"out{i}").queue for i in range(5)]
-    for q in queues:
-        q.reset_counters()
-    m = measure(sim, flows, warmup=25.0, duration=60.0)
-    losses = [q.loss_rate for q in queues]
-    ratio = losses[0] / max(losses[2], 1e-9)
-    jain = jain_index([m[f"f{i}"] for i in range(5)])
-    return ratio, jain
+WORKERS = min(4, os.cpu_count() or 1)
 
 
 def run_experiment():
+    runner = Runner(parallel=WORKERS)
+    rows = runner.run(specs_for_grid("fig8_torus"))
     results = {}
-    for algo in ("ewtcp", "mptcp", "coupled"):
-        results[algo] = {c: run_point(algo, c) for c in CAPACITIES}
+    for row in rows:
+        by_cap = results.setdefault(row["algo"], {})
+        by_cap[int(row["capacity_c"])] = (row["pa_pc_ratio"], row["jain"])
     return results
 
 
 def test_fig8_torus_balance(benchmark):
+    start = time.monotonic()
     results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    wall = time.monotonic() - start
     table = Table(
         ["algorithm", "capacity C", "pA/pC (1=balanced)", "Jain index"],
         precision=3,
@@ -55,7 +54,9 @@ def test_fig8_torus_balance(benchmark):
             table.add_row([algo, cap, ratio, jain])
     record("fig8_torus", table.render(
         "Fig 8: torus loss-rate balance vs capacity of link C\n"
-        "(paper Jain at C=100: COUPLED 0.99, MPTCP 0.986, EWTCP 0.92)"
+        "(paper Jain at C=100: COUPLED 0.99, MPTCP 0.986, EWTCP 0.92)\n"
+        f"(12-point grid via repro.exp runner, {WORKERS} worker(s) on "
+        f"{os.cpu_count()} CPU(s), {wall:.1f}s wall)"
     ))
 
     # At equal capacities EWTCP and MPTCP balance (ratio ~1); COUPLED's

@@ -14,6 +14,9 @@ Public API highlights
 * :mod:`repro.obs` — observability: structured event tracing
   (``TraceBus``) and per-flow/per-queue time series (``SeriesRecorder``);
   schema in ``docs/OBSERVABILITY.md``.
+* :mod:`repro.exp` — the parallel experiment runner: declarative sweep
+  specs fanned out over worker processes with result caching and
+  deterministic aggregation; guide in ``docs/RUNNER.md``.
 """
 
 from .core import (
@@ -27,6 +30,7 @@ from .core import (
     UncoupledController,
     make_controller,
 )
+from .exp import ResultCache, Runner, ScenarioSpec, specs_for_grid
 from .harness import Table, make_flow, measure, standard_series
 from .metrics import jain_index
 from .mptcp import MptcpFlow
@@ -56,7 +60,10 @@ __all__ = [
     "NULL_TRACE",
     "Network",
     "RenoController",
+    "ResultCache",
     "Route",
+    "Runner",
+    "ScenarioSpec",
     "SemicoupledController",
     "SeriesRecorder",
     "Simulation",
@@ -72,6 +79,7 @@ __all__ = [
     "mbps_to_pps",
     "measure",
     "pps_to_mbps",
+    "specs_for_grid",
     "standard_series",
     "validate_event",
     "__version__",

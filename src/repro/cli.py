@@ -15,15 +15,23 @@ Observability (see docs/OBSERVABILITY.md for the event schema):
     python -m repro trace --scenario quickstart --out trace.jsonl
     python -m repro trace-validate trace.jsonl
     python -m repro series --scenario twolinks --out series.csv
+
+Parameter sweeps over worker processes (see docs/RUNNER.md):
+
+    python -m repro sweep --list
+    python -m repro sweep fig16_rtt --parallel 4
+    python -m repro sweep demo_rtt --parallel 2 --trace sweep.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from .core.registry import ALGORITHMS
+from .exp import ResultCache, Runner, specs_for_grid
 from .harness.datacenter import run_matrix
 from .harness.experiment import make_flow, measure, standard_series
 from .harness.table import Table
@@ -38,6 +46,7 @@ from .obs import (
 )
 from .sim.simulation import Simulation
 from .topology import (
+    SWEEP_GRIDS,
     FatTree,
     build_shared_bottleneck,
     build_torus,
@@ -165,6 +174,54 @@ def _cmd_fattree(args) -> int:
     table.add_row(["Jain index", jain_index(rates)])
     print(table.render(f"FatTree k={args.k}, TP1, {args.algo} "
                        f"({args.paths} paths)"))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    if args.list:
+        table = Table(["grid", "points", "scenario", "description"])
+        for name in sorted(SWEEP_GRIDS):
+            grid = SWEEP_GRIDS[name]
+            points = 1
+            for values in grid["parameters"].values():
+                points *= len(values)
+            table.add_row([name, points, grid["scenario"], grid["title"]])
+        print(table.render("Named sweep grids (python -m repro sweep <grid>)"))
+        return 0
+    if args.grid is None:
+        print("error: name a grid to run, or pass --list", file=sys.stderr)
+        return 2
+    specs = specs_for_grid(
+        args.grid, seed=args.seed, warmup=args.warmup, duration=args.duration
+    )
+    bus = None
+    if args.trace:
+        bus = TraceBus(sinks=[JsonlSink(args.trace)])
+    runner = Runner(
+        parallel=args.parallel,
+        cache=None if args.no_cache else ResultCache(args.cache_dir),
+        trace=bus,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    try:
+        rows = runner.run(specs)
+    finally:
+        if bus is not None:
+            bus.close()
+    table = Table(list(rows[0]), precision=4)
+    for row in rows:
+        table.add_row(list(row.values()))
+    print(table.render(SWEEP_GRIDS[args.grid]["title"]))
+    print(
+        f"{len(rows)} points in {runner.wall:.1f}s wall "
+        f"(workers={args.parallel}): {runner.executed} executed, "
+        f"{runner.cache_hits} cache hits, {runner.retried} retries"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(rows, fh, indent=2)
+        print(f"wrote {len(rows)} rows to {args.out}")
     return 0
 
 
@@ -315,6 +372,38 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--buffer", type=int, default=100)
     p.add_argument("--paths", type=int, default=4)
     p.set_defaults(func=_cmd_fattree)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a named parameter grid over worker processes, "
+             "with result caching",
+    )
+    p.add_argument("grid", nargs="?", choices=sorted(SWEEP_GRIDS),
+                   help="named grid (see --list)")
+    p.add_argument("--list", action="store_true",
+                   help="list the named grids and exit")
+    p.add_argument("--parallel", type=int, default=1,
+                   help="worker process count (default 1 = in-process)")
+    p.add_argument("--cache-dir", default=".sweep-cache",
+                   help="result cache directory (default .sweep-cache)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-point timeout, wall seconds (pool execution)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="failed attempts tolerated per point (default 1)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="override the grid's base seed")
+    p.add_argument("--warmup", type=float, default=None,
+                   help="override the grid's warm-up, simulated seconds")
+    p.add_argument("--duration", type=float, default=None,
+                   help="override the grid's measurement window, "
+                        "simulated seconds")
+    p.add_argument("--trace", default=None,
+                   help="write exp.* progress events to this JSONL file")
+    p.add_argument("--out", default=None,
+                   help="write result rows to this JSON file")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
         "trace", help="run a scenario with event tracing, emit JSONL"

@@ -1,0 +1,43 @@
+"""Parallel experiment runner: declarative sweeps over process pools.
+
+The paper's evaluation is dozens of parameter sweeps (Fig 8's capacity
+sweep, Fig 16's RTT/capacity grid, the fabric tables); ``repro.exp``
+reproduces them at full-machine speed:
+
+* :class:`~repro.exp.spec.ScenarioSpec` / :class:`~repro.exp.spec.TaskSpec`
+  — picklable descriptions of one simulation point (scenario, algorithm,
+  seed, warm-up, duration, grid parameters).
+* :class:`~repro.exp.runner.Runner` — fans points out over a
+  ``ProcessPoolExecutor`` with per-task timeouts, bounded seed-preserving
+  retries, graceful degradation to in-process execution when workers die,
+  and deterministic grid-order aggregation.
+* :class:`~repro.exp.cache.ResultCache` — content-addressed on-disk rows
+  (``sha256(spec + code version)``), so re-running a sweep only computes
+  changed points.
+* :mod:`repro.exp.grids` — the registered point functions and named grids
+  behind ``python -m repro sweep``.
+
+Progress streams through the PR-1 trace bus as ``exp.*`` events; see
+``docs/RUNNER.md`` for the full contract.
+"""
+
+from .cache import ResultCache, code_version
+from .grids import SCENARIOS, rtt_ratio, scenario, specs_for_grid, torus_balance
+from .runner import Runner, TaskError
+from .spec import ScenarioSpec, TaskSpec, execute_task, target_id
+
+__all__ = [
+    "Runner",
+    "ResultCache",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "TaskError",
+    "TaskSpec",
+    "code_version",
+    "execute_task",
+    "rtt_ratio",
+    "scenario",
+    "specs_for_grid",
+    "target_id",
+    "torus_balance",
+]

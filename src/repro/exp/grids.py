@@ -1,0 +1,146 @@
+"""Registered sweep point functions and the named scenario grids.
+
+A *point function* runs one simulation described by a
+:class:`~repro.exp.spec.ScenarioSpec` and returns a flat result dict; the
+registry :data:`SCENARIOS` is how worker processes resolve a spec back to
+code (specs ship between processes as plain data, never as callables).
+
+The named grids themselves — which parameters sweep over which values —
+are declared as data in :data:`repro.topology.scenarios.SWEEP_GRIDS`
+next to the topology builders they exercise; :func:`specs_for_grid`
+expands one into an ordered spec list for the
+:class:`~repro.exp.runner.Runner` (``python -m repro sweep`` is the CLI
+wrapper).
+
+Every point function seeds its :class:`~repro.sim.simulation.Simulation`
+from ``spec.seed`` and takes warm-up/duration from the spec, so reruns —
+including a retry replacing a crashed worker — are bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..harness.experiment import make_flow, measure
+from ..harness.sweep import grid_points
+from ..metrics import jain_index
+from ..sim.simulation import Simulation
+from ..topology.scenarios import SWEEP_GRIDS, build_torus, build_two_links
+from .spec import ScenarioSpec
+
+__all__ = ["SCENARIOS", "scenario", "specs_for_grid", "torus_balance",
+           "rtt_ratio"]
+
+#: Registry of named point functions, resolvable in any worker process.
+SCENARIOS: Dict[str, Callable[[ScenarioSpec], dict]] = {}
+
+
+def scenario(name: str):
+    """Register a point function under ``name``."""
+    def register(fn):
+        SCENARIOS[name] = fn
+        return fn
+    return register
+
+
+@scenario("torus_balance")
+def torus_balance(spec: ScenarioSpec) -> dict:
+    """Fig 8 point: five-link torus, link C's capacity squeezed.
+
+    Params: ``algo``, ``capacity_c``; optional ``rate`` (other links,
+    default 1000 pkt/s).  Returns the loss-rate imbalance ``pa_pc_ratio``
+    (pA/pC, 1 = perfectly balanced), Jain's index over flow totals, and
+    the aggregate goodput.
+    """
+    p = spec.params
+    algo = p.get("algo", spec.algorithm or "mptcp")
+    rate = float(p.get("rate", 1000.0))
+    rates = [rate] * 5
+    rates[2] = float(p["capacity_c"])
+    sim = Simulation(seed=spec.seed)
+    sc = build_torus(sim, rates, delay=0.05)
+    flows = {}
+    for i in range(5):
+        f = make_flow(sim, sc.routes(f"f{i}"), algo, name=f"f{i}")
+        f.start(at=0.1 * i)
+        flows[f"f{i}"] = f
+    sim.run_until(spec.warmup)
+    queues = [sc.net.link(f"in{i}", f"out{i}").queue for i in range(5)]
+    for q in queues:
+        q.reset_counters()
+    m = measure(sim, flows, warmup=spec.warmup, duration=spec.duration)
+    losses = [q.loss_rate for q in queues]
+    totals = [m[f"f{i}"] for i in range(5)]
+    return {
+        "pa_pc_ratio": losses[0] / max(losses[2], 1e-9),
+        "jain": jain_index(totals),
+        "total_pps": sum(totals),
+    }
+
+
+@scenario("rtt_ratio")
+def rtt_ratio(spec: ScenarioSpec) -> dict:
+    """Fig 16 point: RTT compensation on a two-link capacity/RTT grid.
+
+    Params: ``c2`` (pkt/s) and ``rtt2`` (seconds) for link 2; link 1 is
+    fixed at 400 pkt/s / 100 ms as in the paper.  Returns M's throughput
+    over the better single-path flow (``ratio``) plus the raw rates.
+    """
+    p = spec.params
+    c2, rtt2 = float(p["c2"]), float(p["rtt2"])
+    sim = Simulation(seed=spec.seed)
+    sc = build_two_links(
+        sim,
+        rate1_pps=400.0, rate2_pps=c2,
+        delay1=0.050, delay2=rtt2 / 2.0,
+        buffer1_pkts=40, buffer2_pkts=max(8, int(c2 * rtt2)),
+    )
+    algo = p.get("algo", spec.algorithm or "mptcp")
+    s1 = make_flow(sim, sc.routes("link1"), "reno", name="S1")
+    s2 = make_flow(sim, sc.routes("link2"), "reno", name="S2")
+    m = make_flow(sim, sc.routes("multi"), algo, name="M")
+    s1.start()
+    s2.start(at=0.2)
+    m.start(at=0.4)
+    result = measure(
+        sim, {"S1": s1, "S2": s2, "M": m},
+        warmup=spec.warmup, duration=spec.duration,
+    )
+    best_single = max(result["S1"], result["S2"])
+    return {
+        "ratio": result["M"] / best_single,
+        "m_pps": result["M"],
+        "best_single_pps": best_single,
+    }
+
+
+def specs_for_grid(
+    name: str,
+    seed: Optional[int] = None,
+    warmup: Optional[float] = None,
+    duration: Optional[float] = None,
+) -> List[ScenarioSpec]:
+    """Expand a named grid from :data:`SWEEP_GRIDS` into ordered specs.
+
+    The grid index (and hence the runner's row order) is the cartesian
+    enumeration order of :func:`~repro.harness.sweep.grid_points` over
+    the grid's ``parameters``.  ``seed``/``warmup``/``duration`` override
+    the grid's defaults — handy for scaled-down smoke runs.
+    """
+    try:
+        grid = SWEEP_GRIDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sweep grid {name!r}; known: "
+            f"{', '.join(sorted(SWEEP_GRIDS))}"
+        ) from None
+    return [
+        ScenarioSpec(
+            scenario=grid["scenario"],
+            params=point,
+            seed=grid["seed"] if seed is None else seed,
+            warmup=grid["warmup"] if warmup is None else warmup,
+            duration=grid["duration"] if duration is None else duration,
+        )
+        for point in grid_points(grid["parameters"])
+    ]

@@ -1,0 +1,291 @@
+"""Process-pool sweep execution with caching, retries and serial fallback.
+
+The paper's evaluation is a battery of parameter sweeps; a
+:class:`Runner` turns a list of :class:`~repro.exp.spec.ScenarioSpec`
+grid points into result rows using every core available:
+
+* **Fan-out** — points run on a ``ProcessPoolExecutor`` (``parallel``
+  workers); each point is an independent seeded simulation, so workers
+  share nothing.
+* **Caching** — with a :class:`~repro.exp.cache.ResultCache` attached,
+  previously computed points are served from disk (``exp.cache_hit``)
+  and only changed points simulate.
+* **Fault tolerance** — a point that times out or raises is retried (at
+  most ``retries`` failed attempts are tolerated) *in-process*, replaying
+  the exact run it replaces because the spec carries the seed; a dying
+  worker process (``BrokenProcessPool``) degrades the affected points to
+  the serial path without consuming their retry budget.  Tasks that
+  cannot be pickled never reach the pool and run serially.
+* **Deterministic aggregation** — output row *i* always corresponds to
+  grid point *i*, whatever order workers finish in, and rows are
+  canonicalised through JSON so cold runs, warm-cache reruns and any
+  worker count produce bit-identical rows.
+
+Progress is reported through a :class:`~repro.obs.trace.TraceBus` as
+``exp.task_start`` / ``exp.task_done`` / ``exp.task_retry`` /
+``exp.cache_hit`` events (see :mod:`repro.obs.schema`); their ``t`` field
+is wall-clock seconds since the run started, not simulated time.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import pickle
+import time
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..harness.sweep import merge_row
+from ..obs.trace import NULL_TRACE
+from .cache import ResultCache
+from .spec import ScenarioSpec, TaskSpec, execute_task
+
+__all__ = ["Runner", "TaskError"]
+
+
+class TaskError(RuntimeError):
+    """A sweep point kept failing after its retry budget was spent."""
+
+    def __init__(self, task: TaskSpec, failures: int, cause: BaseException):
+        super().__init__(
+            f"task {task.index} ({task.target()}) failed {failures} time(s), "
+            f"retry budget exhausted: {type(cause).__name__}: {cause}"
+        )
+        self.task = task
+        self.failures = failures
+        self.cause = cause
+
+
+def _execute_in_worker(task: TaskSpec) -> Tuple[float, dict]:
+    """Worker-side entry point: run the task, return (wall seconds, row)."""
+    start = time.perf_counter()
+    row = execute_task(task)
+    return time.perf_counter() - start, row
+
+
+def _picklable(task: TaskSpec) -> bool:
+    try:
+        pickle.dumps(task)
+        return True
+    except Exception:
+        return False
+
+
+class Runner:
+    """Executes sweep tasks and aggregates their rows in grid order.
+
+    Parameters
+    ----------
+    parallel:
+        Worker process count; ``1`` (default) runs everything in-process.
+    cache:
+        A :class:`ResultCache`, a cache directory path, or ``None``.
+    trace:
+        A :class:`~repro.obs.trace.TraceBus` receiving ``exp.*`` progress
+        events (``None`` disables reporting).
+    timeout:
+        Per-task wall-clock timeout in seconds, enforced on pool
+        execution (a task gets at least ``timeout`` seconds once the
+        runner starts waiting on it).  The serial path cannot preempt a
+        running simulation, so timed-out tasks retry without a timeout.
+    retries:
+        Failed attempts tolerated per task beyond which :class:`TaskError`
+        is raised.  Worker-process death does not consume this budget.
+
+    After :meth:`run` the counters ``executed`` (simulations actually
+    run), ``cache_hits``, ``retried`` (retry attempts started), and
+    ``wall`` (seconds) describe the run.
+    """
+
+    def __init__(
+        self,
+        parallel: int = 1,
+        cache: Union[ResultCache, str, None] = None,
+        trace=None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+    ):
+        if parallel < 1:
+            raise ValueError(f"parallel must be >= 1, got {parallel}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.parallel = parallel
+        self.cache = ResultCache(cache) if isinstance(cache, (str, bytes)) else cache
+        self.trace = NULL_TRACE if trace is None else trace
+        self.timeout = timeout
+        self.retries = retries
+        self.executed = 0
+        self.cache_hits = 0
+        self.retried = 0
+        self.wall = 0.0
+        self._t0 = 0.0
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[Union[ScenarioSpec, TaskSpec]]) -> List[dict]:
+        """Run every spec; returns merged rows (params + result) in grid
+        order."""
+        tasks = [
+            s if isinstance(s, TaskSpec) else TaskSpec(index=i, spec=s)
+            for i, s in enumerate(specs)
+        ]
+        return self.run_tasks(tasks)
+
+    def run_tasks(self, tasks: Sequence[TaskSpec]) -> List[dict]:
+        self._t0 = time.monotonic()
+        self.executed = self.cache_hits = self.retried = 0
+        raw: Dict[int, dict] = {}
+        keys: Dict[int, Optional[str]] = {}
+        computed: Set[int] = set()
+
+        compute = self._serve_from_cache(tasks, raw, keys)
+
+        pool_tasks: List[TaskSpec] = []
+        serial_tasks: List[TaskSpec] = []
+        if self.parallel > 1 and len(compute) > 1:
+            for task in compute:
+                (pool_tasks if _picklable(task) else serial_tasks).append(task)
+        else:
+            serial_tasks = list(compute)
+
+        degraded: List[Tuple[TaskSpec, int, int]] = []
+        if pool_tasks:
+            degraded = self._run_pool(pool_tasks, raw, keys, computed)
+        for task in serial_tasks:
+            self._run_serial(task, raw, keys, computed, attempt=1, failures=0)
+        for task, attempt, failures in degraded:
+            self._run_serial(task, raw, keys, computed, attempt, failures)
+
+        rows = [merge_row(dict(t.spec.params), raw[t.index]) for t in tasks]
+        self.wall = time.monotonic() - self._t0
+        return rows
+
+    # ------------------------------------------------------------------
+    def _serve_from_cache(self, tasks, raw, keys) -> List[TaskSpec]:
+        """Resolve cached points; returns the tasks still needing compute."""
+        compute = []
+        for task in tasks:
+            key = self.cache.key(task) if self.cache is not None else None
+            keys[task.index] = key
+            if key is not None:
+                row = self.cache.load(key)
+                if row is not None:
+                    raw[task.index] = row
+                    self.cache_hits += 1
+                    self._emit("exp.cache_hit", task=task.index, key=key)
+                    continue
+            compute.append(task)
+        return compute
+
+    def _run_pool(self, tasks, raw, keys, computed):
+        """First attempt of every picklable task on the process pool.
+
+        Returns ``(task, next_attempt, failures)`` triples for tasks that
+        must fall back to the serial path.
+        """
+        try:
+            executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.parallel, len(tasks))
+            )
+        except (OSError, ImportError, NotImplementedError):
+            # No usable multiprocessing (e.g. missing /dev/shm): everything
+            # degrades to the serial path with its full retry budget.
+            return [(task, 1, 0) for task in tasks]
+        degraded: List[Tuple[TaskSpec, int, int]] = []
+        abandon_pool = False
+        try:
+            futures = {}
+            for task in tasks:
+                futures[task.index] = executor.submit(_execute_in_worker, task)
+                self._emit("exp.task_start", task=task.index,
+                           target=task.target(), attempt=1,
+                           key=keys[task.index])
+            for task in tasks:
+                fut = futures[task.index]
+                try:
+                    wall, row = fut.result(timeout=self.timeout)
+                except concurrent.futures.TimeoutError:
+                    abandon_pool = True
+                    fut.cancel()
+                    self._note_retry(task, keys, attempt=1, reason="timeout")
+                    degraded.append((task, 2, 1))
+                except BrokenProcessPool:
+                    abandon_pool = True
+                    self._note_retry(task, keys, attempt=1,
+                                     reason="worker_died")
+                    degraded.append((task, 2, 0))
+                except Exception as exc:
+                    self._note_retry(task, keys, attempt=1,
+                                     reason=f"{type(exc).__name__}: {exc}")
+                    degraded.append((task, 2, 1))
+                else:
+                    self._record(task, row, raw, keys, computed)
+                    self.executed += 1
+                    self._emit("exp.task_done", task=task.index, attempt=1,
+                               wall=wall, key=keys[task.index])
+        finally:
+            # A stuck or dead worker must not hold the runner hostage:
+            # leave timed-out tasks behind rather than joining them.
+            executor.shutdown(wait=not abandon_pool,
+                              cancel_futures=abandon_pool)
+        return degraded
+
+    def _run_serial(self, task, raw, keys, computed, attempt, failures):
+        """In-process execution with the remaining retry budget.
+
+        The spec carries the seed, so each attempt replays the identical
+        simulation — a retried point is indistinguishable from a
+        first-try success.
+        """
+        while True:
+            self._emit("exp.task_start", task=task.index,
+                       target=task.target(), attempt=attempt,
+                       key=keys[task.index])
+            if attempt > 1:
+                self.retried += 1
+            start = time.perf_counter()
+            try:
+                row = execute_task(task)
+            except Exception as exc:
+                failures += 1
+                if failures > self.retries:
+                    raise TaskError(task, failures, exc) from exc
+                self._note_retry(task, keys, attempt,
+                                 reason=f"{type(exc).__name__}: {exc}")
+                attempt += 1
+                continue
+            self._record(task, row, raw, keys, computed)
+            self.executed += 1
+            self._emit("exp.task_done", task=task.index, attempt=attempt,
+                       wall=time.perf_counter() - start,
+                       key=keys[task.index])
+            return
+
+    # ------------------------------------------------------------------
+    def _record(self, task, row, raw, keys, computed):
+        """Canonicalise a fresh result and persist it to the cache."""
+        try:
+            row = json.loads(json.dumps(row))
+        except (TypeError, ValueError):
+            # Non-JSON rows stay usable but cannot be cached (and lose the
+            # bit-identical warm-rerun guarantee).
+            raw[task.index] = row
+            computed.add(task.index)
+            return
+        raw[task.index] = row
+        computed.add(task.index)
+        if self.cache is not None and keys[task.index] is not None:
+            self.cache.store(keys[task.index], task, row)
+
+    def _note_retry(self, task, keys, attempt, reason):
+        self._emit("exp.task_retry", task=task.index, attempt=attempt,
+                   reason=reason, key=keys[task.index])
+
+    def _emit(self, ev: str, **fields) -> None:
+        if self.trace.enabled:
+            self.trace.emit(ev, time.monotonic() - self._t0, **fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Runner(parallel={self.parallel}, "
+                f"cache={'on' if self.cache else 'off'}, "
+                f"retries={self.retries})")

@@ -37,7 +37,9 @@ class FieldSpec(NamedTuple):
 #: Fields present on every record, regardless of type.
 COMMON_FIELDS: Dict[str, FieldSpec] = {
     "ev": FieldSpec((str,), True, False, "event type name"),
-    "t": FieldSpec((int, float), True, False, "simulated time, seconds"),
+    "t": FieldSpec((int, float), True, False,
+                   "simulated time, seconds (for exp.* runner events: "
+                   "wall-clock seconds since the sweep run started)"),
     "i": FieldSpec((int,), True, False,
                    "monotonic emission index (total order over the run)"),
 }
@@ -117,6 +119,48 @@ EVENT_TYPES: Dict[str, Dict[str, FieldSpec]] = {
                          "scheduler sequence number of the fired event"),
         "cb": FieldSpec((str,), True, False,
                         "qualified name of the callback"),
+    },
+    # Sweep-runner progress (repro.exp): "task" is the grid index, "key"
+    # the content-addressed cache key (null when caching is off), and
+    # "attempt" counts from 1 per task.
+    "exp.task_start": {
+        "task": FieldSpec((int,), True, False,
+                          "grid index of the sweep point"),
+        "target": FieldSpec((str,), True, False,
+                            "scenario name or module:qualname of the "
+                            "point function"),
+        "attempt": FieldSpec((int,), True, False,
+                             "execution attempt number (1 = first try)"),
+        "key": FieldSpec((str,), True, True,
+                         "result-cache key (null when caching is off)"),
+    },
+    "exp.task_done": {
+        "task": FieldSpec((int,), True, False,
+                          "grid index of the sweep point"),
+        "attempt": FieldSpec((int,), True, False,
+                             "attempt number that succeeded"),
+        "wall": FieldSpec((int, float), True, False,
+                          "wall-clock execution time of the point, "
+                          "seconds"),
+        "key": FieldSpec((str,), True, True,
+                         "result-cache key (null when caching is off)"),
+    },
+    "exp.task_retry": {
+        "task": FieldSpec((int,), True, False,
+                          "grid index of the sweep point"),
+        "attempt": FieldSpec((int,), True, False,
+                             "attempt number that failed"),
+        "reason": FieldSpec((str,), True, False,
+                            "'timeout' | 'worker_died' | "
+                            "'<ExceptionType>: <message>'"),
+        "key": FieldSpec((str,), True, True,
+                         "result-cache key (null when caching is off)"),
+    },
+    "exp.cache_hit": {
+        "task": FieldSpec((int,), True, False,
+                          "grid index of the sweep point"),
+        "key": FieldSpec((str,), True, False,
+                         "result-cache key the row was served from"),
     },
 }
 

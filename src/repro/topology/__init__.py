@@ -3,6 +3,7 @@
 from .bcube import BCube
 from .fattree import FatTree
 from .scenarios import (
+    SWEEP_GRIDS,
     Scenario,
     build_chain,
     build_shared_bottleneck,
@@ -20,6 +21,7 @@ from .wireless import (
 __all__ = [
     "BCube",
     "FatTree",
+    "SWEEP_GRIDS",
     "LinkSchedule",
     "Scenario",
     "WirelessPath",

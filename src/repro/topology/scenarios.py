@@ -16,6 +16,7 @@ from ..net.route import Route
 from ..sim.simulation import Simulation
 
 __all__ = [
+    "SWEEP_GRIDS",
     "Scenario",
     "build_shared_bottleneck",
     "build_two_links",
@@ -39,6 +40,50 @@ class Scenario:
 
     def routes(self, flow: str) -> List[Route]:
         return self.flow_routes[flow]
+
+
+#: Named parameter grids for the paper's sweep-shaped figures, declared as
+#: pure data next to the topologies they exercise.  ``scenario`` names a
+#: point function in :data:`repro.exp.grids.SCENARIOS`; ``parameters`` is
+#: expanded by :func:`repro.harness.sweep.grid_points` (cartesian product,
+#: enumeration order = grid order).  Run one with
+#: ``python -m repro sweep --grid <name>`` or
+#: :func:`repro.exp.grids.specs_for_grid`.
+SWEEP_GRIDS = {
+    "fig8_torus": {
+        "scenario": "torus_balance",
+        "parameters": {
+            "algo": ["ewtcp", "mptcp", "coupled"],
+            "capacity_c": [1000.0, 500.0, 250.0, 100.0],
+        },
+        "seed": 9,
+        "warmup": 25.0,
+        "duration": 60.0,
+        "title": "Fig 8: torus loss-rate balance vs capacity of link C",
+    },
+    "fig16_rtt": {
+        "scenario": "rtt_ratio",
+        "parameters": {
+            "c2": [400.0, 800.0, 1600.0, 3200.0],
+            "rtt2": [0.012, 0.050, 0.200, 0.800],
+        },
+        "seed": 141,
+        "warmup": 25.0,
+        "duration": 70.0,
+        "title": "Fig 16: M's throughput / best(S1, S2) on a C2/RTT2 grid",
+    },
+    "demo_rtt": {
+        "scenario": "rtt_ratio",
+        "parameters": {
+            "c2": [400.0, 800.0],
+            "rtt2": [0.012, 0.050, 0.100, 0.200],
+        },
+        "seed": 7,
+        "warmup": 2.0,
+        "duration": 4.0,
+        "title": "Demo: 8-point RTT-compensation grid (seconds, not minutes)",
+    },
+}
 
 
 def build_shared_bottleneck(

@@ -1,0 +1,225 @@
+"""The parallel experiment runner (repro.exp): fan-out, deterministic
+aggregation, retries, fault tolerance, progress events, and the CLI.
+
+Point functions used by pool tests live at module level so they pickle by
+reference into worker processes; cross-attempt state (forcing a first
+failure, a worker kill, a stall) goes through flag files because workers
+share no memory with the parent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.exp import Runner, ScenarioSpec, TaskError, specs_for_grid
+from repro.harness.sweep import sweep
+from repro.obs import JsonlSink, MemorySink, TraceBus, validate_event
+
+pytestmark = pytest.mark.sweep
+
+
+# -- module-level point functions (picklable into workers) -------------
+
+
+def square_point(x):
+    return {"sq": x * x}
+
+
+def slow_by_index(i):
+    # Later grid points finish first, so completion order inverts grid
+    # order under any parallelism.
+    time.sleep(0.05 * (3 - i))
+    return {"v": i * 10}
+
+
+def always_fails(x):
+    raise RuntimeError("boom")
+
+
+def flaky_point(flag_dir, x):
+    flag = pathlib.Path(flag_dir) / f"ran-{x}"
+    if not flag.exists():
+        flag.write_text("")
+        raise RuntimeError("transient failure")
+    return {"ok": x}
+
+
+def killer_point(parent_pid, x):
+    if os.getpid() != parent_pid:
+        os._exit(13)  # simulate a worker process dying mid-task
+    return {"ok": x}  # the in-process degradation path survives
+
+
+def sleepy_point(flag_dir, x):
+    flag = pathlib.Path(flag_dir) / f"slept-{x}"
+    if not flag.exists():
+        flag.write_text("")
+        time.sleep(2.5)
+    return {"ok": x}
+
+
+def sim_point(seed, c2):
+    """A real (tiny) simulation point: explicit seed through
+    Simulation/make_flow/measure, so reruns are bit-identical."""
+    from repro import Simulation, make_flow, measure
+    from repro.topology import build_two_links
+
+    sim = Simulation(seed=seed)
+    sc = build_two_links(sim, 400.0, c2, delay1=0.05, delay2=0.05)
+    flow = make_flow(sim, sc.routes("multi"), "mptcp", name="m")
+    flow.start()
+    m = measure(sim, {"m": flow}, warmup=0.5, duration=1.0)
+    return {"rate": m["m"]}
+
+
+def flaky_sim_point(flag_dir, seed, c2):
+    flag = pathlib.Path(flag_dir) / f"sim-{c2}"
+    if not flag.exists():
+        flag.write_text("")
+        raise RuntimeError("lost worker")
+    return sim_point(seed, c2)
+
+
+# -- deterministic aggregation -----------------------------------------
+
+
+class TestAggregation:
+    def test_rows_follow_grid_order_not_completion_order(self):
+        rows = sweep({"i": [0, 1, 2, 3]}, slow_by_index, parallel=2)
+        assert rows == [{"i": i, "v": i * 10} for i in range(4)]
+
+    def test_parallel_rows_bit_identical_to_serial(self):
+        legacy = sweep({"x": [1, 2, 3, 4]}, square_point)
+        serial = sweep({"x": [1, 2, 3, 4]}, square_point, parallel=1)
+        parallel = sweep({"x": [1, 2, 3, 4]}, square_point, parallel=4)
+        assert legacy == serial == parallel
+        assert json.dumps(serial) == json.dumps(parallel)
+
+    def test_sim_grid_bit_identical_serial_vs_parallel(self):
+        specs = specs_for_grid("demo_rtt", warmup=0.5, duration=1.0)
+        serial = Runner(parallel=1).run(specs)
+        parallel = Runner(parallel=2).run(specs)
+        assert json.dumps(serial) == json.dumps(parallel)
+        # Grid order: c2 is the slow axis of demo_rtt's cartesian product.
+        assert [r["c2"] for r in serial] == [400.0] * 4 + [800.0] * 4
+
+    def test_unknown_scenario_fails_clearly(self):
+        with pytest.raises(TaskError, match="unknown scenario"):
+            Runner(retries=0).run([ScenarioSpec(scenario="no-such")])
+
+
+# -- fault tolerance ----------------------------------------------------
+
+
+class TestFaultTolerance:
+    def test_retry_replays_the_exact_run_it_replaces(self, tmp_path):
+        clean = sweep({"seed": [5], "c2": [300.0, 600.0]}, sim_point)
+        sink = MemorySink()
+        bus = TraceBus(sinks=[sink])
+        retried = sweep(
+            {"flag_dir": [str(tmp_path)], "seed": [5], "c2": [300.0, 600.0]},
+            flaky_sim_point, parallel=2, trace=bus,
+        )
+        assert [r["rate"] for r in retried] == [r["rate"] for r in clean]
+        assert len(sink.of_type("exp.task_retry")) == 2
+
+    def test_worker_death_degrades_to_serial(self):
+        sink = MemorySink()
+        rows = sweep(
+            {"parent_pid": [os.getpid()], "x": [1, 2, 3]},
+            killer_point, parallel=2, trace=TraceBus(sinks=[sink]),
+        )
+        assert [r["ok"] for r in rows] == [1, 2, 3]
+        reasons = {r["reason"] for r in sink.of_type("exp.task_retry")}
+        assert "worker_died" in reasons
+
+    def test_timeout_retries_in_process(self, tmp_path):
+        sink = MemorySink()
+        rows = sweep(
+            {"flag_dir": [str(tmp_path)], "x": [1, 2]},
+            sleepy_point, parallel=2, timeout=0.4,
+            trace=TraceBus(sinks=[sink]),
+        )
+        assert [r["ok"] for r in rows] == [1, 2]
+        reasons = [r["reason"] for r in sink.of_type("exp.task_retry")]
+        assert "timeout" in reasons
+
+    def test_retry_budget_exhausted_raises(self):
+        with pytest.raises(TaskError, match="retry budget exhausted"):
+            sweep({"x": [1]}, always_fails, parallel=1, retries=1)
+
+    def test_zero_retries_fails_on_first_error(self):
+        with pytest.raises(TaskError, match="failed 1 time"):
+            sweep({"x": [1]}, always_fails, parallel=1, retries=0)
+
+    def test_unpicklable_point_function_runs_serially(self):
+        offset = 7  # closure → unpicklable → must not reach the pool
+        rows = sweep({"x": [1, 2]}, lambda x: {"y": x + offset}, parallel=2)
+        assert rows == [{"x": 1, "y": 8}, {"x": 2, "y": 9}]
+
+    def test_invalid_runner_arguments(self):
+        with pytest.raises(ValueError):
+            Runner(parallel=0)
+        with pytest.raises(ValueError):
+            Runner(retries=-1)
+
+
+# -- progress events ----------------------------------------------------
+
+
+class TestRunnerEvents:
+    def test_events_conform_to_schema(self, tmp_path):
+        sink = MemorySink()
+        sweep(
+            {"flag_dir": [str(tmp_path)], "x": [1, 2]},
+            flaky_point, parallel=2, trace=TraceBus(sinks=[sink]),
+        )
+        assert sink.events, "runner emitted no events"
+        for record in sink.events:
+            assert validate_event(record) == []
+        counts = sink.counts()
+        assert counts["exp.task_done"] == 2
+        assert counts["exp.task_retry"] >= 1
+
+    def test_trace_validate_accepts_runner_jsonl(self, tmp_path):
+        trace_path = tmp_path / "sweep.jsonl"
+        bus = TraceBus(sinks=[JsonlSink(str(trace_path))])
+        sweep({"x": [1, 2, 3]}, square_point, parallel=1, trace=bus)
+        bus.close()
+        assert main(["trace-validate", str(trace_path)]) == 0
+
+
+# -- the repro sweep CLI ------------------------------------------------
+
+
+class TestSweepCli:
+    def test_list_names_the_grids(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("demo_rtt", "fig8_torus", "fig16_rtt"):
+            assert name in out
+
+    def test_grid_required_without_list(self, capsys):
+        assert main(["sweep"]) == 2
+
+    def test_cold_then_warm_run(self, tmp_path, capsys):
+        args = [
+            "sweep", "demo_rtt", "--parallel", "2",
+            "--warmup", "0.5", "--duration", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args + ["--out", str(tmp_path / "cold.json")]) == 0
+        cold = capsys.readouterr().out
+        assert "8 executed, 0 cache hits" in cold
+        assert main(args + ["--out", str(tmp_path / "warm.json")]) == 0
+        warm = capsys.readouterr().out
+        assert "0 executed, 8 cache hits" in warm
+        cold_rows = (tmp_path / "cold.json").read_text()
+        warm_rows = (tmp_path / "warm.json").read_text()
+        assert cold_rows == warm_rows

@@ -139,6 +139,16 @@ class TestSweep:
         rows = sweep({"x": [2, 3]}, lambda x: {"square": x * x})
         assert rows == [{"x": 2, "square": 4}, {"x": 3, "square": 9}]
 
+    def test_sweep_result_key_collision_raises(self):
+        # Regression: a result key equal to a parameter name used to
+        # silently overwrite the parameter value in the output row.
+        with pytest.raises(ValueError, match="collide.*'x'"):
+            sweep({"x": [1, 2]}, lambda x: {"x": 99, "y": 0})
+
+    def test_sweep_collision_raises_on_runner_path_too(self):
+        with pytest.raises(ValueError, match="collide"):
+            sweep({"x": [1]}, lambda x: {"x": 99}, parallel=1)
+
 
 class TestMakeFlowAndMeasure:
     def _route(self, sim):

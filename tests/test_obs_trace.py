@@ -244,13 +244,16 @@ class TestSchemaValidation:
 
     def test_every_schema_type_is_exercised_by_two_subflow_run(self):
         # Guards schema/instrumentation drift in both directions: every
-        # documented type except engine-level ones must come out of an
-        # ordinary lossy multipath run (engine.event_fired is checked in
-        # TestInstrumentationEvents).
+        # documented simulation type except engine-level ones must come
+        # out of an ordinary lossy multipath run (engine.event_fired is
+        # checked in TestInstrumentationEvents; the exp.* sweep-runner
+        # events are exercised in tests/test_exp_runner.py).
         assert set(EVENT_TYPES) == {
             "pkt.enqueue", "pkt.drop", "pkt.deliver", "cc.cwnd_update",
             "tcp.timeout", "tcp.fast_retransmit", "mptcp.dsn_ack",
             "engine.event_fired",
+            "exp.task_start", "exp.task_done", "exp.task_retry",
+            "exp.cache_hit",
         }
 
     def test_validate_jsonl_roundtrip_and_errors(self, tmp_path):
