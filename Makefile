@@ -3,6 +3,7 @@
 #   make test        tier-1 test suite
 #   make obs-test    observability-layer tests only (pytest -m obs)
 #   make sweep-test  parallel experiment-runner tests only (pytest -m sweep)
+#   make check-test  invariant-monitor + fault-injection tests only
 #   make bench       paper tables/figures + simulator microbenchmarks
 #   make trace-demo  quickstart with tracing on, JSONL validated against
 #                    the schema in docs/OBSERVABILITY.md
@@ -14,7 +15,7 @@ PP        := PYTHONPATH=src
 TRACE_OUT ?= quickstart-trace.jsonl
 SWEEP_CACHE ?= .sweep-demo-cache
 
-.PHONY: test obs-test sweep-test bench trace-demo sweep-demo
+.PHONY: test obs-test sweep-test check-test bench trace-demo sweep-demo
 
 test:
 	$(PP) $(PYTHON) -m pytest -x -q
@@ -24,6 +25,9 @@ obs-test:
 
 sweep-test:
 	$(PP) $(PYTHON) -m pytest -m sweep -q
+
+check-test:
+	$(PP) $(PYTHON) -m pytest -m "invariants or fault" -q
 
 bench:
 	$(PP) $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,479 @@
+"""Continuously-checked protocol invariants (§6's safety arguments).
+
+The paper's protocol claims are all *safety* properties: DSN bookkeeping
+never loses or duplicates stream bytes, the single shared receive buffer
+never overcommits, the MPTCP/LIA increase never exceeds regular TCP's.
+The test suite historically asserted them at end-of-run; the
+:class:`InvariantMonitor` instead subscribes to the
+:class:`~repro.obs.trace.TraceBus` and re-checks them at **every trace
+event**, so the first inconsistent state stops the run with a
+:class:`InvariantViolation` carrying the offending event and a trace-tail
+for replay.
+
+Checked invariants
+------------------
+
+``queue_conservation``
+    Per drop-tail queue: ``arrivals == departures + drops + occupancy``
+    (packets are never created or lost inside a buffer).  Tolerates
+    ``reset_counters()`` — the conserved quantity is the *balance*, which
+    a counter reset shifts by the occupancy frozen in the buffer.
+``queue_bounds``
+    ``0 <= occupancy <= capacity`` for every queue, also re-checked from
+    each ``pkt.enqueue`` event's ``occ`` field.
+``window_sanity``
+    On every ``cc.cwnd_update``: cwnd positive, within
+    ``[min_cwnd, max_cwnd]``, ssthresh positive when set.
+``coupled_increase_bound``
+    Every congestion-avoidance ``on_ack`` increase is at most ``1/w``
+    (constraint (4) of §2.5: a multipath flow must never be more
+    aggressive per-ACK than regular TCP).  Enforced by wrapping each
+    controller's ``on_ack``; controllers named in ``exempt_controllers``
+    (CUBIC, whose window growth is deliberately not ACK-bounded) are
+    skipped.
+``dsn_monotonic``
+    ``mptcp.dsn_ack`` events carry a strictly increasing data cumulative
+    ACK per connection, and a non-negative receive window.
+``receive_buffer_bound``
+    Shared-buffer accounting: ``occupancy <= capacity`` and
+    ``unread >= 0`` (§6: everything the sender may send fits the pool).
+``exactly_once_delivery``
+    Subflow level: per-flow ``pkt.deliver`` sequence numbers are dense
+    (0, 1, 2, ...).  Connection level: the reassembler has delivered
+    exactly ``data_cum_ack`` packets — each DSN exactly once.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from ..mptcp.connection import MptcpConnection, MptcpReceiver
+from ..net.queue import DropTailQueue
+from ..obs.sinks import TraceSink
+from ..obs.trace import TraceBus
+from ..sim.simulation import Simulation
+from ..tcp.sender import TcpSender
+
+__all__ = ["InvariantMonitor", "InvariantViolation", "CHECK_EVENTS"]
+
+#: The trace event types emitted by this layer plus the fault layer —
+#: the set a replay/golden sink usually filters down to.
+CHECK_EVENTS = frozenset(
+    ["check.attach", "check.violation", "check.stats",
+     "fault.armed", "fault.fire"]
+)
+
+#: Absolute slop for floating-point window comparisons.
+_EPS = 1e-9
+
+
+class InvariantViolation(AssertionError):
+    """An invariant failed mid-run.
+
+    Carries everything needed to understand and replay the failure:
+
+    ``invariant``
+        Name of the failed check (see the module docstring).
+    ``detail``
+        Human-readable description with the offending values.
+    ``event``
+        The trace record being processed when the violation was detected
+        (None for state-sweep violations with no single trigger event).
+    ``tail``
+        The last trace records before the violation, in emission order —
+        feed them to ``repro trace-validate`` or diff them against a
+        healthy run's tail to localise the divergence.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        detail: str,
+        event: Optional[dict] = None,
+        tail: Optional[List[dict]] = None,
+    ):
+        self.invariant = invariant
+        self.detail = detail
+        self.event = event
+        self.tail = list(tail or ())
+        at = f" at event {event['i']} ({event['ev']})" if event else ""
+        super().__init__(
+            f"invariant {invariant!r} violated{at}: {detail} "
+            f"[trace-tail: {len(self.tail)} records]"
+        )
+
+
+class InvariantMonitor(TraceSink):
+    """A trace sink that checks protocol invariants at every event.
+
+    Usage::
+
+        bus = TraceBus()
+        sim = Simulation(seed=1, trace=bus)
+        monitor = InvariantMonitor()
+        monitor.attach(sim)          # watches everything built on sim
+        ... build scenario, run ...
+        monitor.finish()             # final sweep + check.stats event
+
+    Components are discovered through the simulation's registration
+    watcher (:meth:`~repro.sim.simulation.Simulation.on_register`), so a
+    monitor attached before *or* after the scenario is built watches every
+    queue, sender, connection and shared buffer without explicit wiring.
+    Any violation raises :class:`InvariantViolation` out of the emitting
+    component (and therefore out of ``sim.run_until``), after emitting a
+    ``check.violation`` trace record and flushing the bus.
+    """
+
+    def __init__(
+        self,
+        tail: int = 64,
+        exempt_controllers: tuple = ("cubic",),
+        sweep_every: int = 1,
+    ):
+        if sweep_every < 1:
+            raise ValueError(f"sweep_every must be >= 1, got {sweep_every!r}")
+        self.tail: deque = deque(maxlen=tail)
+        self.exempt_controllers = set(exempt_controllers)
+        self.sweep_every = sweep_every
+        self.sim: Optional[Simulation] = None
+        self.bus: Optional[TraceBus] = None
+
+        # Watched components.
+        self.queues: List[DropTailQueue] = []
+        self.senders: List[TcpSender] = []
+        self.conns: List[MptcpConnection] = []
+        self.receivers: List[MptcpReceiver] = []
+        self._queues_by_name: Dict[str, DropTailQueue] = {}
+        self._senders_by_name: Dict[str, TcpSender] = {}
+        self._wrapped_controllers: Dict[int, Any] = {}
+
+        # Per-entity check state.
+        self._balance: Dict[int, tuple] = {}      # queue id -> (last_arrivals, balance)
+        self._next_deliver: Dict[str, int] = {}   # flow name -> next seq
+        self._last_data_ack: Dict[str, int] = {}  # conn name -> data_ack
+
+        # Statistics.
+        self.events_seen = 0
+        self.checks_run = 0
+        self.violations = 0
+        self._since_sweep = 0
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, sim: Simulation) -> "InvariantMonitor":
+        """Subscribe to ``sim``'s trace bus and watch all its components."""
+        bus = sim.trace
+        if not isinstance(bus, TraceBus):
+            raise ValueError(
+                "InvariantMonitor needs a Simulation built with a TraceBus "
+                "(Simulation(seed=..., trace=TraceBus())); invariants are "
+                "checked at trace events, so an untraced simulation cannot "
+                "be monitored"
+            )
+        self.sim = sim
+        self.bus = bus
+        bus.add_sink(self)
+        sim.on_register(self._watch)
+        return self
+
+    def _watch(self, component: Any) -> None:
+        if isinstance(component, DropTailQueue):
+            self.queues.append(component)
+            if component.name:
+                self._queues_by_name[component.name] = component
+            self._balance[id(component)] = (
+                component.arrivals,
+                self._queue_balance(component),
+            )
+        elif isinstance(component, TcpSender):
+            self.senders.append(component)
+            if component.name:
+                self._senders_by_name[component.name] = component
+            self._wrap_controller(component.controller)
+        elif isinstance(component, MptcpConnection):
+            self.conns.append(component)
+        elif isinstance(component, MptcpReceiver):
+            self.receivers.append(component)
+
+    def _wrap_controller(self, controller: Any) -> None:
+        key = id(controller)
+        if key in self._wrapped_controllers:
+            return
+        if getattr(controller, "name", "") in self.exempt_controllers:
+            self._wrapped_controllers[key] = None
+            return
+        original = controller.on_ack
+        monitor = self
+
+        def checked_on_ack(subflow):
+            before = subflow.cwnd
+            original(subflow)
+            monitor.checks_run += 1
+            delta = subflow.cwnd - before
+            if before > 0 and delta > 1.0 / before + _EPS:
+                monitor._violate(
+                    "coupled_increase_bound",
+                    f"controller {controller.name!r} grew "
+                    f"{getattr(subflow, 'name', subflow)!r} by {delta:.6g} "
+                    f"on one ACK at cwnd {before:.6g}; the uncoupled bound "
+                    f"is 1/w = {1.0 / before:.6g}",
+                )
+
+        controller.on_ack = checked_on_ack
+        self._wrapped_controllers[key] = original
+
+    # ------------------------------------------------------------------
+    # TraceSink contract
+    # ------------------------------------------------------------------
+    def write(self, record: dict) -> None:
+        ev = record["ev"]
+        self.tail.append(record)
+        if ev.startswith("check.") or ev.startswith("fault."):
+            return  # our own (or the fault layer's) bookkeeping events
+        self.events_seen += 1
+        handler = self._EVENT_CHECKS.get(ev)
+        if handler is not None:
+            handler(self, record)
+        self._since_sweep += 1
+        if self._since_sweep >= self.sweep_every:
+            self._since_sweep = 0
+            self._sweep(record)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    # ------------------------------------------------------------------
+    # Event-driven checks
+    # ------------------------------------------------------------------
+    def _check_enqueue(self, record: dict) -> None:
+        self.checks_run += 1
+        queue = self._queues_by_name.get(record["queue"])
+        capacity = queue.capacity if queue is not None else None
+        if capacity is not None and record["occ"] > capacity:
+            self._violate(
+                "queue_bounds",
+                f"queue {record['queue']!r} enqueued to occupancy "
+                f"{record['occ']} > capacity {capacity}",
+                record,
+            )
+
+    def _check_deliver(self, record: dict) -> None:
+        self.checks_run += 1
+        flow = record["flow"]
+        seq = record["seq"]
+        expected = self._next_deliver.get(flow, 0)
+        if seq != expected:
+            self._violate(
+                "exactly_once_delivery",
+                f"flow {flow!r} delivered subflow seq {seq}, expected "
+                f"{expected} (in-order delivery must be dense: no byte "
+                f"skipped or delivered twice)",
+                record,
+            )
+        self._next_deliver[flow] = seq + 1
+
+    def _check_cwnd_update(self, record: dict) -> None:
+        self.checks_run += 1
+        cwnd = record["cwnd"]
+        ssthresh = record["ssthresh"]
+        if not cwnd > 0:
+            self._violate(
+                "window_sanity",
+                f"flow {record['flow']!r} has non-positive cwnd {cwnd!r}",
+                record,
+            )
+        if ssthresh is not None and not ssthresh > 0:
+            self._violate(
+                "window_sanity",
+                f"flow {record['flow']!r} has non-positive ssthresh "
+                f"{ssthresh!r}",
+                record,
+            )
+        sender = self._senders_by_name.get(record["flow"])
+        if sender is not None:
+            if cwnd < sender.min_cwnd - _EPS:
+                self._violate(
+                    "window_sanity",
+                    f"flow {record['flow']!r} cwnd {cwnd:.6g} fell below "
+                    f"min_cwnd {sender.min_cwnd:.6g}",
+                    record,
+                )
+            if cwnd > sender.max_cwnd + _EPS:
+                self._violate(
+                    "window_sanity",
+                    f"flow {record['flow']!r} cwnd {cwnd:.6g} exceeds "
+                    f"max_cwnd {sender.max_cwnd:.6g}",
+                    record,
+                )
+
+    def _check_dsn_ack(self, record: dict) -> None:
+        self.checks_run += 1
+        conn = record["conn"]
+        data_ack = record["data_ack"]
+        last = self._last_data_ack.get(conn)
+        if last is not None and data_ack <= last:
+            self._violate(
+                "dsn_monotonic",
+                f"connection {conn!r} data cumulative ACK went from {last} "
+                f"to {data_ack}; it must be strictly increasing",
+                record,
+            )
+        self._last_data_ack[conn] = data_ack
+        rwnd = record["rwnd"]
+        if rwnd is not None and rwnd < 0:
+            self._violate(
+                "dsn_monotonic",
+                f"connection {conn!r} advertised negative receive window "
+                f"{rwnd}",
+                record,
+            )
+
+    _EVENT_CHECKS = {
+        "pkt.enqueue": _check_enqueue,
+        "pkt.deliver": _check_deliver,
+        "cc.cwnd_update": _check_cwnd_update,
+        "mptcp.dsn_ack": _check_dsn_ack,
+    }
+
+    # ------------------------------------------------------------------
+    # State sweeps
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _queue_balance(queue: DropTailQueue) -> int:
+        return (
+            queue.arrivals - queue.departures - queue.drops - queue.occupancy
+        )
+
+    def _sweep(self, record: Optional[dict]) -> None:
+        for queue in self.queues:
+            self.checks_run += 1
+            occ = queue.occupancy
+            if occ < 0 or occ > queue.capacity:
+                self._violate(
+                    "queue_bounds",
+                    f"queue {queue.name!r} occupancy {occ} outside "
+                    f"[0, {queue.capacity}]",
+                    record,
+                )
+            last_arrivals, expected = self._balance[id(queue)]
+            if queue.arrivals < last_arrivals:
+                # reset_counters() zeroed the counters with packets still
+                # buffered; the conserved balance shifts accordingly.
+                expected = self._queue_balance(queue)
+            balance = self._queue_balance(queue)
+            if balance != expected:
+                self._violate(
+                    "queue_conservation",
+                    f"queue {queue.name!r} leaks packets: arrivals "
+                    f"{queue.arrivals} != departures {queue.departures} + "
+                    f"drops {queue.drops} + occupancy {occ} "
+                    f"(balance {balance}, expected {expected})",
+                    record,
+                )
+            self._balance[id(queue)] = (queue.arrivals, expected)
+        for receiver in self.receivers:
+            self.checks_run += 1
+            reassembler = receiver.reassembler
+            if reassembler.delivered != reassembler.data_cum_ack:
+                self._violate(
+                    "exactly_once_delivery",
+                    f"receiver {receiver.name!r} delivered "
+                    f"{reassembler.delivered} packets but the data "
+                    f"cumulative ACK is {reassembler.data_cum_ack}; every "
+                    f"DSN below it must be delivered exactly once",
+                    record,
+                )
+            buffer = receiver.buffer
+            if buffer.unread < 0:
+                self._violate(
+                    "receive_buffer_bound",
+                    f"receiver {receiver.name!r} has negative unread count "
+                    f"{buffer.unread}",
+                    record,
+                )
+            if (
+                buffer.capacity is not None
+                and buffer.occupancy > buffer.capacity
+            ):
+                self._violate(
+                    "receive_buffer_bound",
+                    f"receiver {receiver.name!r} shared buffer holds "
+                    f"{buffer.occupancy} > capacity {buffer.capacity} "
+                    f"({reassembler.buffered} out-of-order + "
+                    f"{buffer.unread} unread)",
+                    record,
+                )
+
+    # ------------------------------------------------------------------
+    # Violation / lifecycle
+    # ------------------------------------------------------------------
+    def _violate(
+        self, invariant: str, detail: str, event: Optional[dict] = None
+    ) -> None:
+        self.violations += 1
+        tail = list(self.tail)
+        if self.bus is not None and self.bus.enabled:
+            self.bus.emit(
+                "check.violation",
+                self.sim.now if self.sim is not None else 0.0,
+                invariant=invariant,
+                detail=detail,
+                event_i=event["i"] if event else None,
+                tail=len(tail),
+            )
+            self.bus.flush()
+        raise InvariantViolation(invariant, detail, event=event, tail=tail)
+
+    def emit_attach(self, faults: int = 0) -> None:
+        """Emit a ``check.attach`` record describing what is being watched
+        (call after the scenario is built)."""
+        if self.bus is not None and self.bus.enabled:
+            self.bus.emit(
+                "check.attach",
+                self.sim.now if self.sim is not None else 0.0,
+                queues=len(self.queues),
+                senders=len(self.senders),
+                conns=len(self.conns),
+                buffers=len(self.receivers),
+                faults=faults,
+            )
+
+    def finish(self) -> None:
+        """Run a final sweep and emit the ``check.stats`` summary record.
+
+        Idempotent; safe to call from test teardown even after a violation
+        already surfaced (the final sweep re-raises on still-broken state).
+        """
+        if self._finished:
+            return
+        self._finished = True
+        self._sweep(None)
+        if self.bus is not None and self.bus.enabled:
+            self.bus.emit(
+                "check.stats",
+                self.sim.now if self.sim is not None else 0.0,
+                events=self.events_seen,
+                checks=self.checks_run,
+                violations=self.violations,
+            )
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for result rows: events seen, checks run, violations."""
+        return {
+            "events": self.events_seen,
+            "checks": self.checks_run,
+            "violations": self.violations,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InvariantMonitor(queues={len(self.queues)}, "
+            f"senders={len(self.senders)}, checks={self.checks_run}, "
+            f"violations={self.violations})"
+        )

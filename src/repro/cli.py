@@ -21,6 +21,11 @@ Parameter sweeps over worker processes (see docs/RUNNER.md):
     python -m repro sweep --list
     python -m repro sweep fig16_rtt --parallel 4
     python -m repro sweep demo_rtt --parallel 2 --trace sweep.jsonl
+
+Invariant-checked (optionally fault-injected) runs (see docs/CHECKING.md):
+
+    python -m repro check --scenario torus_balance --fault link_flap --seed 1
+    python -m repro check --scenario rtt_ratio --param c2=1600 --out check.jsonl
 """
 
 from __future__ import annotations
@@ -30,8 +35,12 @@ import json
 import sys
 from typing import List, Optional
 
+from .check import CHECK_EVENTS, InvariantViolation, trace_override
 from .core.registry import ALGORITHMS
 from .exp import ResultCache, Runner, specs_for_grid
+from .exp.grids import SCENARIOS
+from .exp.spec import ScenarioSpec
+from .fault import FAULT_PRESETS
 from .harness.datacenter import run_matrix
 from .harness.experiment import make_flow, measure, standard_series
 from .harness.table import Table
@@ -39,6 +48,7 @@ from .metrics import jain_index
 from .net.network import pps_to_mbps
 from .obs import (
     EVENT_TYPES,
+    FilterSink,
     JsonlSink,
     TraceBus,
     TraceSchemaError,
@@ -225,6 +235,67 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+#: Required-parameter defaults so ``repro check --scenario X`` runs without
+#: spelling out a full grid point (override any of them with ``--param``).
+CHECK_SCENARIO_DEFAULTS = {
+    "torus_balance": {"capacity_c": 250.0},
+    "rtt_ratio": {"c2": 800.0, "rtt2": 0.05},
+}
+
+
+def _parse_param(text: str):
+    """``key=value`` with JSON-typed values (bare words stay strings)."""
+    key, sep, value = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"expected key=value, got {text!r}"
+        )
+    try:
+        return key, json.loads(value)
+    except json.JSONDecodeError:
+        return key, value
+
+
+def _cmd_check(args) -> int:
+    params = dict(CHECK_SCENARIO_DEFAULTS.get(args.scenario, {}))
+    params.update(args.param or ())
+    params["check"] = 1
+    if args.fault:
+        params["faults"] = list(args.fault)
+    spec = ScenarioSpec(
+        scenario=args.scenario,
+        params=params,
+        seed=args.seed,
+        warmup=args.warmup,
+        duration=args.duration,
+    )
+    to_stdout = args.out == "-"
+    # The FilterSink narrows the JSONL output to check.*/fault.* records
+    # while the invariant monitor (attached to the same bus inside the
+    # point function) still sees the full event stream.
+    sink = JsonlSink(sys.stdout if to_stdout else args.out)
+    bus = TraceBus(sinks=[FilterSink(sink, CHECK_EVENTS)])
+    log = sys.stderr if to_stdout else sys.stdout
+    try:
+        with trace_override(bus):
+            row = SCENARIOS[args.scenario](spec)
+    except InvariantViolation as exc:
+        print(f"VIOLATION: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        bus.close()
+    table = Table(["quantity", "value"], precision=4)
+    for key, value in row.items():
+        table.add_row([key, value])
+    faults = ", ".join(args.fault) if args.fault else "none"
+    print(table.render(
+        f"checked {args.scenario} (seed {args.seed}, faults: {faults})"
+    ), file=log)
+    print(f"wrote {sink.records_written} check/fault events"
+          + ("" if to_stdout else f" to {args.out}"), file=log)
+    return 0
+
+
 #: Scenarios the observability commands can build (small, fast shapes that
 #: cover single-path, multipath and wireless instrumentation).
 OBS_SCENARIOS = ("quickstart", "twolinks", "wireless")
@@ -404,6 +475,30 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="write result rows to this JSON file")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "check",
+        help="run a scenario under the invariant monitor, optionally "
+             "with injected faults; emit check/fault events as JSONL",
+    )
+    p.add_argument("--scenario", choices=sorted(SCENARIOS),
+                   default="torus_balance")
+    p.add_argument("--fault", action="append", default=None,
+                   choices=sorted(FAULT_PRESETS),
+                   help="inject a preset fault schedule (repeatable)")
+    p.add_argument("--param", action="append", type=_parse_param,
+                   metavar="KEY=VALUE",
+                   help="scenario parameter override (repeatable; values "
+                        "parsed as JSON when possible)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--warmup", type=float, default=5.0,
+                   help="simulated warm-up seconds (default 5)")
+    p.add_argument("--duration", type=float, default=10.0,
+                   help="simulated measurement seconds (default 10)")
+    p.add_argument("--out", default="-",
+                   help="JSONL path for check.*/fault.* events "
+                        "('-' for stdout)")
+    p.set_defaults(func=_cmd_check)
 
     p = sub.add_parser(
         "trace", help="run a scenario with event tracing, emit JSONL"

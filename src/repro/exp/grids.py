@@ -21,10 +21,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from ..check.hooks import CheckContext
 from ..harness.experiment import make_flow, measure
 from ..harness.sweep import grid_points
 from ..metrics import jain_index
-from ..sim.simulation import Simulation
 from ..topology.scenarios import SWEEP_GRIDS, build_torus, build_two_links
 from .spec import ScenarioSpec
 
@@ -51,19 +51,25 @@ def torus_balance(spec: ScenarioSpec) -> dict:
     default 1000 pkt/s).  Returns the loss-rate imbalance ``pa_pc_ratio``
     (pA/pC, 1 = perfectly balanced), Jain's index over flow totals, and
     the aggregate goodput.
+
+    The reserved ``check``/``faults`` params (see
+    :class:`~repro.check.hooks.CheckContext`) run the point under the
+    invariant monitor and/or a fault schedule.
     """
     p = spec.params
     algo = p.get("algo", spec.algorithm or "mptcp")
     rate = float(p.get("rate", 1000.0))
     rates = [rate] * 5
     rates[2] = float(p["capacity_c"])
-    sim = Simulation(seed=spec.seed)
+    ctx = CheckContext.from_spec(spec)
+    sim = ctx.simulation()
     sc = build_torus(sim, rates, delay=0.05)
     flows = {}
     for i in range(5):
         f = make_flow(sim, sc.routes(f"f{i}"), algo, name=f"f{i}")
         f.start(at=0.1 * i)
         flows[f"f{i}"] = f
+    ctx.arm()
     sim.run_until(spec.warmup)
     queues = [sc.net.link(f"in{i}", f"out{i}").queue for i in range(5)]
     for q in queues:
@@ -71,11 +77,11 @@ def torus_balance(spec: ScenarioSpec) -> dict:
     m = measure(sim, flows, warmup=spec.warmup, duration=spec.duration)
     losses = [q.loss_rate for q in queues]
     totals = [m[f"f{i}"] for i in range(5)]
-    return {
+    return ctx.finish({
         "pa_pc_ratio": losses[0] / max(losses[2], 1e-9),
         "jain": jain_index(totals),
         "total_pps": sum(totals),
-    }
+    })
 
 
 @scenario("rtt_ratio")
@@ -88,7 +94,8 @@ def rtt_ratio(spec: ScenarioSpec) -> dict:
     """
     p = spec.params
     c2, rtt2 = float(p["c2"]), float(p["rtt2"])
-    sim = Simulation(seed=spec.seed)
+    ctx = CheckContext.from_spec(spec)
+    sim = ctx.simulation()
     sc = build_two_links(
         sim,
         rate1_pps=400.0, rate2_pps=c2,
@@ -99,6 +106,7 @@ def rtt_ratio(spec: ScenarioSpec) -> dict:
     s1 = make_flow(sim, sc.routes("link1"), "reno", name="S1")
     s2 = make_flow(sim, sc.routes("link2"), "reno", name="S2")
     m = make_flow(sim, sc.routes("multi"), algo, name="M")
+    ctx.arm()
     s1.start()
     s2.start(at=0.2)
     m.start(at=0.4)
@@ -107,11 +115,11 @@ def rtt_ratio(spec: ScenarioSpec) -> dict:
         warmup=spec.warmup, duration=spec.duration,
     )
     best_single = max(result["S1"], result["S2"])
-    return {
+    return ctx.finish({
         "ratio": result["M"] / best_single,
         "m_pps": result["M"],
         "best_single_pps": best_single,
-    }
+    })
 
 
 def specs_for_grid(

@@ -1,0 +1,34 @@
+"""Fault injection: seeded, reproducible network perturbations.
+
+See ``docs/CHECKING.md``.  Fault schedules are declared as
+:class:`FaultSpec` values (or preset names / plain dicts — see
+:func:`resolve_faults`) and bound to live components with
+:func:`arm_faults`; each injector draws from its own RNG derived from
+``(sim.seed, kind, target, start)``, so faulted runs are bit-identical
+across repeats and the simulation's main random stream is untouched.
+"""
+
+from .faults import (
+    AckDropFault,
+    Fault,
+    LinkFlapFault,
+    LossBurstFault,
+    ReorderFault,
+    SubflowKillFault,
+    arm_faults,
+)
+from .spec import FAULT_KINDS, FAULT_PRESETS, FaultSpec, resolve_faults
+
+__all__ = [
+    "AckDropFault",
+    "FAULT_KINDS",
+    "FAULT_PRESETS",
+    "Fault",
+    "FaultSpec",
+    "LinkFlapFault",
+    "LossBurstFault",
+    "ReorderFault",
+    "SubflowKillFault",
+    "arm_faults",
+    "resolve_faults",
+]

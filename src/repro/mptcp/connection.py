@@ -59,6 +59,7 @@ class MptcpConnection:
         self.enable_reinjection = enable_reinjection
         self.reinjection_timeout_threshold = reinjection_timeout_threshold
         self._subflow_timeout_marks: dict = {}
+        sim.register(self)
 
     # ------------------------------------------------------------------
     # Construction
@@ -195,6 +196,7 @@ class MptcpReceiver:
         self.enable_sack = enable_sack
         self.subflow_receivers: List[TcpReceiver] = []
         self._read_timer = None
+        sim.register(self)
 
     def new_subflow_receiver(self, name: str = "") -> TcpReceiver:
         label = name or f"{self.name}.sf{len(self.subflow_receivers)}"

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hmac
 import hashlib
+import random
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -65,19 +66,22 @@ class OptionStrippingMiddlebox:
     """A middlebox that removes unknown TCP options (a common failure
     mode the negotiation must downgrade around, §6)."""
 
+    #: Seed of the default RNG.  A probabilistic middlebox built without an
+    #: explicit ``rng`` must still behave identically run to run (the exp
+    #: result cache and golden traces key on determinism), so the fallback
+    #: is a fixed-seed generator rather than the global ``random`` module.
+    DEFAULT_SEED = 0x5EED
+
     def __init__(self, strip_probability: float = 1.0, rng=None):
         if not 0.0 <= strip_probability <= 1.0:
             raise ValueError("strip_probability must be in [0, 1]")
         self.strip_probability = strip_probability
-        self.rng = rng
+        self.rng = rng if rng is not None else random.Random(self.DEFAULT_SEED)
         self.stripped = 0
 
     def pass_option(self, option):
         """Returns the option, or None if stripped."""
-        import random as _random
-
-        rng = self.rng if self.rng is not None else _random
-        if option is not None and rng.random() < self.strip_probability:
+        if option is not None and self.rng.random() < self.strip_probability:
             self.stripped += 1
             return None
         return option

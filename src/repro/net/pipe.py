@@ -26,7 +26,7 @@ __all__ = ["Pipe", "LossyPipe"]
 class Pipe:
     """Fixed propagation delay with infinite capacity."""
 
-    __slots__ = ("sim", "delay", "name", "deliveries")
+    __slots__ = ("sim", "delay", "name", "deliveries", "intercept")
 
     def __init__(self, sim: Simulation, delay: float, name: str = ""):
         if delay < 0:
@@ -35,8 +35,14 @@ class Pipe:
         self.delay = float(delay)
         self.name = name
         self.deliveries = 0
+        #: Optional arrival interceptor (``repro.fault``): returning True
+        #: consumes the packet before normal processing.
+        self.intercept = None
+        sim.register(self)
 
     def receive(self, packet: Packet) -> None:
+        if self.intercept is not None and self.intercept(packet):
+            return
         if self.delay == 0.0:
             self._deliver(packet)
         else:

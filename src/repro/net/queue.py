@@ -60,6 +60,7 @@ class DropTailQueue:
         "departures",
         "drops",
         "drop_hook",
+        "intercept",
     )
 
     def __init__(
@@ -90,6 +91,11 @@ class DropTailQueue:
         self.drops = 0
         #: Optional callback invoked with each dropped packet.
         self.drop_hook: Optional[Callable[[Packet], None]] = None
+        #: Optional arrival interceptor (``repro.fault``): called with each
+        #: arriving packet *before* any counting; returning True consumes
+        #: the packet (the queue never sees it).
+        self.intercept: Optional[Callable[[Packet], bool]] = None
+        sim.register(self)
 
     # ------------------------------------------------------------------
     @property
@@ -112,6 +118,8 @@ class DropTailQueue:
 
     # ------------------------------------------------------------------
     def receive(self, packet: Packet) -> None:
+        if self.intercept is not None and self.intercept(packet):
+            return
         self.arrivals += 1
         if len(self._buffer) >= self.capacity:
             self.drops += 1
@@ -205,6 +213,8 @@ class VariableRateQueue(DropTailQueue):
             self._start_service()
 
     def receive(self, packet: Packet) -> None:
+        if self.intercept is not None and self.intercept(packet):
+            return
         self.arrivals += 1
         if len(self._buffer) >= self.capacity:
             self.drops += 1

@@ -39,6 +39,7 @@ class Route:
         self.reverse_delay = float(reverse_delay)
         self.name = name
         self._reverse_pipe = Pipe(sim, self.reverse_delay, name=f"{name}.rev")
+        sim.register(self)
 
     # ------------------------------------------------------------------
     def forward_elements(self, endpoint: Any) -> Tuple[Any, ...]:

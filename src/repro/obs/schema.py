@@ -66,8 +66,8 @@ EVENT_TYPES: Dict[str, Dict[str, FieldSpec]] = {
         "elem": FieldSpec((str,), True, False,
                           "name of the dropping element"),
         "kind": FieldSpec((str,), True, False,
-                          "'queue' (buffer overflow) or 'pipe' "
-                          "(random media loss)"),
+                          "'queue' (buffer overflow), 'pipe' (random media "
+                          "loss) or 'fault' (injected by repro.fault)"),
         "flow": _FLOW,
         "seq": FieldSpec((int,), True, True,
                          "subflow sequence number of the dropped packet"),
@@ -161,6 +161,67 @@ EVENT_TYPES: Dict[str, Dict[str, FieldSpec]] = {
                           "grid index of the sweep point"),
         "key": FieldSpec((str,), True, False,
                          "result-cache key the row was served from"),
+    },
+    # Invariant-checking layer (repro.check): attach/stats bracket a
+    # monitored run; a violation record precedes the raised
+    # InvariantViolation (the exception carries the trace-tail).
+    "check.attach": {
+        "queues": FieldSpec((int,), True, False,
+                            "drop-tail queues under invariant watch"),
+        "senders": FieldSpec((int,), True, False,
+                             "TCP senders / MPTCP subflows under watch"),
+        "conns": FieldSpec((int,), True, False,
+                           "multipath connections under watch"),
+        "buffers": FieldSpec((int,), True, False,
+                             "shared receive buffers under watch"),
+        "faults": FieldSpec((int,), True, False,
+                            "armed fault injectors (0 = clean run)"),
+    },
+    "check.violation": {
+        "invariant": FieldSpec((str,), True, False,
+                               "name of the violated invariant"),
+        "detail": FieldSpec((str,), True, False,
+                            "human-readable description of the violation"),
+        "event_i": FieldSpec((int,), True, True,
+                             "emission index of the offending event (null "
+                             "for state-sweep violations with no single "
+                             "triggering event)"),
+        "tail": FieldSpec((int,), True, False,
+                          "records in the replayable trace-tail carried by "
+                          "the raised InvariantViolation"),
+    },
+    "check.stats": {
+        "events": FieldSpec((int,), True, False,
+                            "trace events the monitor observed"),
+        "checks": FieldSpec((int,), True, False,
+                            "individual invariant evaluations performed"),
+        "violations": FieldSpec((int,), True, False,
+                                "violations detected (0 for a clean run)"),
+    },
+    # Fault-injection layer (repro.fault).  Per-packet effects are traced
+    # as pkt.drop kind='fault'; fault.fire marks state transitions.
+    "fault.armed": {
+        "fault": FieldSpec((str,), True, False,
+                           "fault kind (link_flap, loss_burst, reorder, "
+                           "subflow_kill, ack_drop)"),
+        "target": FieldSpec((str,), True, False,
+                            "name of the element the fault is bound to"),
+        "start": FieldSpec((int, float), True, False,
+                           "simulated time the fault first acts, seconds"),
+    },
+    "fault.fire": {
+        "fault": FieldSpec((str,), True, False, "fault kind"),
+        "target": FieldSpec((str,), True, False,
+                            "name of the element the fault is bound to"),
+        "action": FieldSpec((str,), True, False,
+                            "'down' | 'up' | 'burst_start' | 'burst_end' | "
+                            "'reorder' | 'kill' | 'revive' | 'window_start'"
+                            " | 'window_end'"),
+        "seq": FieldSpec((int,), False, True,
+                         "sequence number affected (per-packet actions)"),
+        "count": FieldSpec((int,), False, False,
+                           "packets affected during the ending "
+                           "state (up/burst_end/window_end actions)"),
     },
 }
 

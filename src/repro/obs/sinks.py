@@ -41,6 +41,32 @@ class TraceSink:
         pass
 
 
+class FilterSink(TraceSink):
+    """Forwards only selected event types to an inner sink.
+
+    Unlike the :class:`~repro.obs.trace.TraceBus` ``events=`` filter —
+    which suppresses events for *every* sink before an emission index is
+    assigned — a FilterSink narrows one sink's view while other sinks on
+    the same bus (e.g. an attached invariant monitor, which must see every
+    event) keep the full stream.  Emission indices in the filtered output
+    are therefore sparse but still strictly increasing.
+    """
+
+    def __init__(self, sink: "TraceSink", events):
+        self.sink = sink
+        self.events = set(events)
+
+    def write(self, record: dict) -> None:
+        if record["ev"] in self.events:
+            self.sink.write(record)
+
+    def flush(self) -> None:
+        self.sink.flush()
+
+    def close(self) -> None:
+        self.sink.close()
+
+
 class MemorySink(TraceSink):
     """Accumulates event records in memory.
 

@@ -36,6 +36,7 @@ class Simulation:
         self.seed = seed
         self.rng = random.Random(seed)
         self._components: List[Any] = []
+        self._watchers: List[Callable[[Any], None]] = []
         self._at_end: List[Callable[[], None]] = []
 
     # -- time ----------------------------------------------------------
@@ -54,7 +55,27 @@ class Simulation:
     def register(self, component: Any) -> Any:
         """Track a component for introspection; returns it for chaining."""
         self._components.append(component)
+        for watcher in self._watchers:
+            watcher(component)
         return component
+
+    def on_register(
+        self, callback: Callable[[Any], None], replay: bool = True
+    ) -> None:
+        """Invoke ``callback`` for every registered component, now and in
+        the future.
+
+        This is how cross-cutting observers (the invariant monitor, the
+        fault-injection layer) discover the queues, senders and connections
+        of a scenario without explicit wiring: components register
+        themselves at construction, and a watcher attached at any time sees
+        the ones built before it (``replay=True``) as well as everything
+        built afterwards.
+        """
+        self._watchers.append(callback)
+        if replay:
+            for component in self._components:
+                callback(component)
 
     @property
     def components(self) -> List[Any]:

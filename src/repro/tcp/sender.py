@@ -111,6 +111,7 @@ class TcpSender:
         self.on_complete: Optional[Callable[["TcpSender"], None]] = None
 
         controller.add_subflow(self)
+        sim.register(self)
 
     # ------------------------------------------------------------------
     # Properties used by controllers

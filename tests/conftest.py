@@ -4,15 +4,33 @@ from __future__ import annotations
 
 import pytest
 
+from repro.check import InvariantMonitor
 from repro.net.pipe import LossyPipe
 from repro.net.queue import DropTailQueue
 from repro.net.route import Route
+from repro.obs import TraceBus
 from repro.sim.simulation import Simulation
 
 
 @pytest.fixture
-def sim() -> Simulation:
-    return Simulation(seed=42)
+def sim(request) -> Simulation:
+    """The standard seeded Simulation.
+
+    Tests marked ``@pytest.mark.invariants`` get a traced simulation with
+    an :class:`~repro.check.InvariantMonitor` attached (reachable as
+    ``sim.check_monitor``): every component the test builds is watched,
+    any invariant violation fails the test at the offending event, and a
+    final sweep runs at teardown.
+    """
+    if request.node.get_closest_marker("invariants") is None:
+        yield Simulation(seed=42)
+        return
+    simulation = Simulation(seed=42, trace=TraceBus())
+    monitor = InvariantMonitor()
+    monitor.attach(simulation)
+    simulation.check_monitor = monitor
+    yield simulation
+    monitor.finish()
 
 
 def lossy_route(

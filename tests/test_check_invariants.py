@@ -1,0 +1,188 @@
+"""The invariant monitor (repro.check): clean runs stay clean, broken
+protocol behaviour is caught at the offending event with a replayable
+trace-tail, and the pytest ``invariants`` marker wires the monitor into
+the shared ``sim`` fixture."""
+
+import pytest
+
+from repro.check import InvariantMonitor, InvariantViolation
+from repro.core.mptcp_lia import LinkedIncreasesController
+from repro.core.registry import make_controller
+from repro.harness.experiment import make_flow
+from repro.mptcp.connection import MptcpFlow
+from repro.obs import MemorySink, TraceBus, validate_event
+from repro.sim.simulation import Simulation
+from repro.tcp.sender import TcpFlow
+
+from conftest import bottleneck_route, lossy_route
+
+pytestmark = pytest.mark.invariants
+
+
+def _monitored(seed=42):
+    sink = MemorySink()
+    bus = TraceBus(sinks=[sink])
+    simulation = Simulation(seed=seed, trace=bus)
+    monitor = InvariantMonitor().attach(simulation)
+    return simulation, monitor, sink
+
+
+class TestFixtureWiring:
+    def test_marked_test_gets_monitored_sim(self, sim):
+        # The `invariants` module marker makes the sim fixture attach a
+        # monitor; everything this test builds is auto-watched.
+        monitor = sim.check_monitor
+        assert isinstance(monitor, InvariantMonitor)
+        route, queue = bottleneck_route(sim, rate_pps=500.0)
+        flow = TcpFlow(sim, route, make_controller("reno"), name="f")
+        flow.start()
+        sim.run_until(8.0)
+        assert queue in monitor.queues
+        assert flow.sender in monitor.senders
+        assert monitor.events_seen > 0
+        assert monitor.checks_run > monitor.events_seen
+        assert monitor.violations == 0
+
+    def test_attach_requires_a_trace_bus(self):
+        with pytest.raises(ValueError, match="TraceBus"):
+            InvariantMonitor().attach(Simulation(seed=1))
+
+
+class TestCleanRunsSatisfyInvariants:
+    def test_multipath_with_shared_buffer_flow_control(self, sim):
+        # The tightest invariant surface: bounded shared buffer, slow
+        # application, lossy paths — buffer accounting, DSN monotonicity
+        # and exactly-once delivery all checked at every event.
+        routes = [
+            lossy_route(sim, 0.01, name="a"),
+            lossy_route(sim, 0.03, name="b"),
+        ]
+        flow = MptcpFlow(
+            sim, routes, make_controller("lia"), name="m",
+            receive_buffer=32, app_read_rate=800.0,
+        )
+        flow.start()
+        sim.run_until(12.0)
+        sim.check_monitor.finish()
+        assert flow.packets_delivered > 0
+        assert sim.check_monitor.violations == 0
+
+    def test_conservation_tolerates_counter_resets(self, sim):
+        # torus_balance resets queue counters mid-run; the conservation
+        # check must rebase instead of flagging the discontinuity.
+        route, queue = bottleneck_route(sim, rate_pps=400.0, buffer_pkts=20)
+        flow = TcpFlow(sim, route, make_controller("reno"), name="f")
+        flow.start()
+        sim.run_until(4.0)
+        queue.reset_counters()
+        sim.run_until(8.0)
+        sim.check_monitor.finish()
+        assert sim.check_monitor.violations == 0
+
+
+class TestViolationsAreCaught:
+    def test_lia_increase_beyond_uncoupled_bound(self, monkeypatch):
+        # The acceptance scenario: mutate LIA to grow faster than 1/w per
+        # ACK (breaking §2.5's constraint (4)); the monitor must stop the
+        # run at the first offending ACK.
+        def too_aggressive(self, subflow):
+            subflow.cwnd += 2.0 / subflow.cwnd + 0.5
+
+        monkeypatch.setattr(LinkedIncreasesController, "on_ack", too_aggressive)
+        simulation, monitor, sink = _monitored()
+        routes = [
+            lossy_route(simulation, 0.01, name="a"),
+            lossy_route(simulation, 0.02, name="b"),
+        ]
+        flow = MptcpFlow(simulation, routes, make_controller("lia"), name="m")
+        flow.start()
+        with pytest.raises(InvariantViolation) as excinfo:
+            simulation.run_until(20.0)
+        violation = excinfo.value
+        assert violation.invariant == "coupled_increase_bound"
+        assert "lia" in violation.detail
+        # The exception carries a replayable trace-tail: real, schema-valid
+        # records in emission order, ending just before the violation.
+        assert violation.tail
+        for record in violation.tail:
+            assert validate_event(record) == []
+        indices = [r["i"] for r in violation.tail]
+        assert indices == sorted(indices)
+        # A check.violation record went out on the bus before the raise.
+        (emitted,) = sink.of_type("check.violation")
+        assert emitted["invariant"] == "coupled_increase_bound"
+        assert emitted["tail"] == len(violation.tail)
+        assert validate_event(emitted) == []
+
+    def test_queue_conservation_tamper(self):
+        simulation, monitor, _ = _monitored()
+        route, queue = bottleneck_route(simulation, rate_pps=400.0)
+        flow = TcpFlow(simulation, route, make_controller("reno"), name="f")
+        flow.start()
+        simulation.run_until(2.0)
+        queue.drops += 3  # claim drops that never happened
+        with pytest.raises(InvariantViolation) as excinfo:
+            simulation.run_until(4.0)
+        assert excinfo.value.invariant == "queue_conservation"
+        assert queue.name in excinfo.value.detail
+
+    def test_out_of_order_delivery_event(self):
+        simulation, monitor, _ = _monitored()
+        bus = simulation.trace
+        bus.emit("pkt.deliver", 0.0, flow="f", seq=0, dsn=None)
+        with pytest.raises(InvariantViolation) as excinfo:
+            bus.emit("pkt.deliver", 0.1, flow="f", seq=2, dsn=None)
+        assert excinfo.value.invariant == "exactly_once_delivery"
+        assert excinfo.value.event["seq"] == 2
+
+    def test_dsn_ack_regression_event(self):
+        simulation, monitor, _ = _monitored()
+        bus = simulation.trace
+        bus.emit("mptcp.dsn_ack", 0.0, conn="m", data_ack=10, rwnd=None)
+        with pytest.raises(InvariantViolation) as excinfo:
+            bus.emit("mptcp.dsn_ack", 0.1, conn="m", data_ack=10, rwnd=None)
+        assert excinfo.value.invariant == "dsn_monotonic"
+
+    def test_nonpositive_cwnd_event(self):
+        simulation, monitor, _ = _monitored()
+        with pytest.raises(InvariantViolation) as excinfo:
+            simulation.trace.emit(
+                "cc.cwnd_update", 0.0, flow="f", cwnd=0.0, ssthresh=None,
+                reason="ack",
+            )
+        assert excinfo.value.invariant == "window_sanity"
+
+
+class TestLifecycleRecords:
+    def test_attach_and_stats_records_are_emitted_and_valid(self):
+        simulation, monitor, sink = _monitored()
+        route, _ = bottleneck_route(simulation, rate_pps=400.0)
+        flow = TcpFlow(simulation, route, make_controller("reno"), name="f")
+        monitor.emit_attach(faults=0)
+        flow.start()
+        simulation.run_until(3.0)
+        monitor.finish()
+        (attach,) = sink.of_type("check.attach")
+        assert attach["queues"] >= 1 and attach["senders"] == 1
+        assert attach["faults"] == 0
+        (stats,) = sink.of_type("check.stats")
+        assert stats["events"] == monitor.events_seen
+        assert stats["violations"] == 0
+        for record in (attach, stats):
+            assert validate_event(record) == []
+
+    def test_finish_is_idempotent(self):
+        simulation, monitor, sink = _monitored()
+        monitor.finish()
+        monitor.finish()
+        assert len(sink.of_type("check.stats")) == 1
+
+    def test_cubic_is_exempt_from_the_increase_bound(self, sim):
+        # CUBIC's window growth is deliberately not per-ACK bounded; the
+        # monitor must not flag it.
+        route, _ = bottleneck_route(sim, rate_pps=600.0, buffer_pkts=40)
+        flow = TcpFlow(sim, route, make_controller("cubic"), name="c")
+        flow.start()
+        sim.run_until(10.0)
+        sim.check_monitor.finish()
+        assert sim.check_monitor.violations == 0

@@ -49,6 +49,24 @@ class TestHandshake:
         assert not result.multipath
         assert mbox.stripped >= 1
 
+    def test_probabilistic_middlebox_is_deterministic_by_default(self):
+        """Regression: a middlebox built without an explicit rng used the
+        global ``random`` module, so probabilistic strip decisions varied
+        run to run and poisoned cached/golden results.  The default must
+        be a fixed-seed stream, identical across instances."""
+        decisions = []
+        for _ in range(2):
+            mbox = OptionStrippingMiddlebox(strip_probability=0.5)
+            outcomes = []
+            for _ in range(64):
+                client = MptcpEndpoint("c")
+                server = MptcpEndpoint("s")
+                outcomes.append(connect(client, server, middlebox=mbox).multipath)
+            decisions.append((outcomes, mbox.stripped))
+        assert decisions[0] == decisions[1]
+        # with p = 0.5 over 64 trials, both outcomes must occur
+        assert 0 < decisions[0][1] < 64
+
     def test_join_ties_subflow_to_connection(self):
         client = MptcpEndpoint("c", key=1)
         server = MptcpEndpoint("s", key=2)

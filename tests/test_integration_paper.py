@@ -10,7 +10,6 @@ import pytest
 
 from repro import Simulation, jain_index, make_flow, measure
 from repro.core.registry import make_controller
-from repro.fluid import mptcp_equilibrium_windows
 from repro.mptcp.connection import MptcpFlow
 from repro.net.network import mbps_to_pps
 from repro.tcp.sender import TcpFlow
@@ -22,8 +21,6 @@ from repro.topology import (
     build_wifi_path,
 )
 from repro.traffic import OnOffCbrSource
-
-from conftest import lossy_route
 
 
 def shared_bottleneck_ratio(algo, seed=11, duration=120.0):
@@ -212,25 +209,9 @@ class TestSection5RttCompensation:
 
 
 class TestEquilibriumAgainstFluidModel:
-    def test_mptcp_two_path_split_matches_fluid_prediction(self):
-        """Packet-level MPTCP on fixed-loss paths should reproduce the
-        fluid-model window split (ratio between paths)."""
-        losses = (0.005, 0.02)
-        rtts = (0.1, 0.1)
-        sim = Simulation(seed=12)
-        routes = [
-            lossy_route(sim, losses[0], rtt=rtts[0], name="a"),
-            lossy_route(sim, losses[1], rtt=rtts[1], name="b"),
-        ]
-        flow = MptcpFlow(sim, routes, make_controller("mptcp"), name="m")
-        flow.start()
-        m = measure(sim, {"m": flow}, warmup=40.0, duration=200.0)
-        sim_rates = m.subflow_rates["m"]
-        predicted = mptcp_equilibrium_windows(list(losses), list(rtts))
-        predicted_rates = [w / r for w, r in zip(predicted, rtts)]
-        sim_share = sim_rates[0] / sum(sim_rates)
-        predicted_share = predicted_rates[0] / sum(predicted_rates)
-        assert sim_share == pytest.approx(predicted_share, abs=0.12)
+    # The per-algorithm split-vs-fluid comparison lives in
+    # tests/test_differential_fluid.py, parametrized over the whole
+    # controller registry.
 
     def test_jain_index_improves_with_coupling_on_torus(self):
         """§3: COUPLED/MPTCP yield better flow-rate fairness than EWTCP

@@ -247,13 +247,17 @@ class TestSchemaValidation:
         # documented simulation type except engine-level ones must come
         # out of an ordinary lossy multipath run (engine.event_fired is
         # checked in TestInstrumentationEvents; the exp.* sweep-runner
-        # events are exercised in tests/test_exp_runner.py).
+        # events are exercised in tests/test_exp_runner.py; the check.*
+        # and fault.* layers in tests/test_check_invariants.py and
+        # tests/test_fault_injection.py).
         assert set(EVENT_TYPES) == {
             "pkt.enqueue", "pkt.drop", "pkt.deliver", "cc.cwnd_update",
             "tcp.timeout", "tcp.fast_retransmit", "mptcp.dsn_ack",
             "engine.event_fired",
             "exp.task_start", "exp.task_done", "exp.task_retry",
             "exp.cache_hit",
+            "check.attach", "check.violation", "check.stats",
+            "fault.armed", "fault.fire",
         }
 
     def test_validate_jsonl_roundtrip_and_errors(self, tmp_path):

@@ -76,6 +76,27 @@ class TestLossyPipe:
         with pytest.raises(ValueError):
             LossyPipe(Simulation(), delay=0.0, loss_prob=-0.1)
 
+    def test_default_rng_is_the_simulations_seeded_stream(self):
+        """Regression: loss patterns must be reproducible from the sim
+        seed alone (the exp result cache and golden traces key on it), so
+        the no-rng fallback is ``sim.rng`` — never an unseeded stream."""
+        sim = Simulation(seed=5)
+        assert LossyPipe(sim, delay=0.0, loss_prob=0.1).rng is sim.rng
+
+        def drop_pattern():
+            sim = Simulation(seed=5)
+            pipe = LossyPipe(sim, delay=0.0, loss_prob=0.3)
+            sink = Collector(sim)
+            pattern = []
+            for _ in range(200):
+                before = pipe.drops
+                Packet((pipe, sink), size=1.0, flow=None).send()
+                sim.run()
+                pattern.append(pipe.drops > before)
+            return pattern
+
+        assert drop_pattern() == drop_pattern()
+
 
 class TestRoute:
     def test_properties(self):

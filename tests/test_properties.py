@@ -12,7 +12,7 @@ from repro.fluid import (
     tcp_window,
 )
 from repro.metrics import jain_index
-from repro.mptcp.reassembly import DataReassembler
+from repro.mptcp.reassembly import DataReassembler, SharedReceiveBuffer
 from repro.mptcp.scheduler import DsnScheduler
 from repro.sim.engine import EventScheduler
 
@@ -92,6 +92,84 @@ class TestReassemblerProperties:
             r.receive(dsn)
         assert len(seen) == len(set(seen))
         assert seen == sorted(seen)
+
+    @given(
+        st.permutations(list(range(25))),
+        st.lists(st.integers(0, 24), max_size=25),
+    )
+    @settings(max_examples=100)
+    def test_exactly_once_under_permutation_with_duplicates(
+        self, order, dup_picks
+    ):
+        """Exactly-once delivery: a full permutation with extra copies of
+        arbitrary DSNs injected at arbitrary points still yields each DSN
+        once, in order, and every extra copy is counted as a duplicate."""
+        arrivals = list(order)
+        for k, pick in enumerate(dup_picks):
+            arrivals.insert((pick * 7 + k) % (len(arrivals) + 1), pick)
+        r = DataReassembler()
+        seen = []
+        r.on_data = lambda dsn, payload: seen.append(dsn)
+        for dsn in arrivals:
+            r.receive(dsn)
+        assert seen == list(range(25))
+        assert r.data_cum_ack == 25
+        assert r.delivered == 25
+        assert r.duplicates == len(dup_picks)
+        assert r.buffered == 0
+
+    @given(st.permutations(list(range(20))), st.integers(0, 19))
+    @settings(max_examples=100)
+    def test_gap_blocks_delivery_above_it(self, order, missing):
+        """A missing DSN holds back everything after it; filling the gap
+        releases the whole run at once."""
+        r = DataReassembler()
+        seen = []
+        r.on_data = lambda dsn, payload: seen.append(dsn)
+        for dsn in order:
+            if dsn != missing:
+                r.receive(dsn)
+        assert seen == list(range(missing))
+        assert r.data_cum_ack == missing
+        assert r.buffered == 19 - missing
+        r.receive(missing)
+        assert seen == list(range(20))
+        assert r.buffered == 0
+
+
+class TestSharedBufferProperties:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(0, 9)),
+            min_size=1, max_size=200,
+        ),
+        st.integers(min_value=2, max_value=16),
+    )
+    @settings(max_examples=100)
+    def test_accounted_data_never_exceeds_capacity(self, ops, capacity):
+        """§6's shared-pool guarantee: a sender that respects the
+        advertised rwnd (relative to the data cum-ACK) can never overflow
+        the pool, for any interleaving of out-of-order arrivals and
+        application reads."""
+        r = DataReassembler()
+        buf = SharedReceiveBuffer(capacity)
+        buf.bind(r)
+        r.on_data = lambda dsn, payload: buf.on_in_order()
+        for is_read, k in ops:
+            if is_read:
+                buf.app_read(k)
+            else:
+                # sender side: pick any not-yet-sent DSN the advertised
+                # window currently permits
+                window = [
+                    d for d in range(r.data_cum_ack, r.data_cum_ack + buf.rwnd)
+                    if d not in r._held
+                ]
+                if window:
+                    r.receive(window[k % len(window)])
+            assert buf.unread >= 0
+            assert 0 <= buf.rwnd <= capacity
+            assert 0 <= buf.occupancy <= capacity
 
 
 class TestSchedulerProperties:

@@ -1,7 +1,5 @@
 """Behavioural tests for the TCP sender/receiver pair on small scenarios."""
 
-import math
-
 import pytest
 
 from repro.core.uncoupled import RenoController
@@ -149,20 +147,9 @@ class TestLossRecovery:
 
 
 class TestEquilibriumFormula:
-    @pytest.mark.parametrize("p", [0.005, 0.01, 0.02])
-    def test_throughput_tracks_inverse_sqrt_p(self, p):
-        """§2's balance argument: rate ≈ sqrt(2/p)/RTT.  The stochastic
-        sawtooth discounts that by a constant; we accept a wide band and
-        check the scaling across p values separately below."""
-        sim = Simulation(seed=8)
-        flow = make_lossy_flow(sim, p, rtt=0.1)
-        flow.start()
-        sim.run_until(20.0)
-        base = flow.packets_delivered
-        sim.run_until(140.0)
-        rate = (flow.packets_delivered - base) / 120.0
-        predicted = math.sqrt(2.0 / p) / 0.1
-        assert 0.45 * predicted < rate < 1.15 * predicted
+    # The absolute rate-vs-sqrt(2/p)/RTT band is covered for every
+    # registered controller by tests/test_differential_fluid.py; here we
+    # keep the sharper *relative* scaling checks.
 
     def test_rate_scales_with_inverse_sqrt_p(self):
         def run(p):
