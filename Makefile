@@ -5,6 +5,12 @@
 #   make sweep-test  parallel experiment-runner tests only (pytest -m sweep)
 #   make check-test  invariant-monitor + fault-injection tests only
 #   make bench       paper tables/figures + simulator microbenchmarks
+#   make bench-gate  hot-path benchmark suite gated against the recorded
+#                    baseline (fails on >10% events/sec regression);
+#                    writes BENCH_pr4.json — see docs/REPRODUCTION_NOTES.md
+#   make bench-smoke ungated seconds-long bench run (CI artifact)
+#   make bench-baseline  re-record benchmarks/bench_baseline.json for this
+#                    machine (do this once before relying on bench-gate)
 #   make trace-demo  quickstart with tracing on, JSONL validated against
 #                    the schema in docs/OBSERVABILITY.md
 #   make sweep-demo  8-point grid over 2 workers, rerun warm from the
@@ -14,8 +20,10 @@ PYTHON    ?= python
 PP        := PYTHONPATH=src
 TRACE_OUT ?= quickstart-trace.jsonl
 SWEEP_CACHE ?= .sweep-demo-cache
+BENCH_OUT ?= BENCH_pr4.json
 
-.PHONY: test obs-test sweep-test check-test bench trace-demo sweep-demo
+.PHONY: test obs-test sweep-test check-test bench bench-gate bench-smoke \
+	bench-baseline trace-demo sweep-demo
 
 test:
 	$(PP) $(PYTHON) -m pytest -x -q
@@ -31,6 +39,15 @@ check-test:
 
 bench:
 	$(PP) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-gate:
+	$(PP) $(PYTHON) -m repro bench --gate --out $(BENCH_OUT)
+
+bench-smoke:
+	$(PP) $(PYTHON) -m repro bench --scale smoke --out $(BENCH_OUT)
+
+bench-baseline:
+	$(PP) $(PYTHON) -m repro bench --update-baseline
 
 trace-demo:
 	$(PP) $(PYTHON) examples/quickstart.py --trace $(TRACE_OUT)

@@ -1,0 +1,429 @@
+"""Hot-path benchmarks and the performance-regression gate.
+
+The paper's evaluation depends on the simulator being *fast* — the torus
+and fat-tree sweeps (Figs. 8-13) are only feasible because htsim is a
+"high-speed custom packet-level simulator".  This module keeps our core
+honest about that: a small fixed suite of wall-clock benchmarks over the
+per-event/per-packet hot paths, a recorded per-machine baseline, and a
+gate that fails when throughput regresses.
+
+Usage (``python -m repro bench``, or ``make bench-gate``)::
+
+    repro bench                          # run, write BENCH_pr4.json
+    repro bench --gate                   # additionally fail on regression
+    repro bench --update-baseline        # re-record the local baseline
+    repro bench --scale smoke            # tiny scale for CI / tests
+
+The suite
+---------
+
+``engine_micro``
+    A self-rescheduling callback chain on a bare
+    :class:`~repro.sim.engine.EventScheduler` — the schedule/dispatch
+    cycle with nothing else on top (rate unit: events/s).
+``engine_cancel``
+    Schedule-then-cancel churn, the access pattern of retransmission
+    timers that are re-armed on every ACK.  Exercises the tombstone
+    compaction path; also reports the peak event-heap length (a leak
+    detector: without compaction this grows without bound).
+``mptcp_micro``
+    A two-subflow MPTCP flow over two 500 pkt/s links — the full
+    packet/ACK round trip including the sender scoreboard (events/s).
+``fig8_torus``
+    One Fig 8 point: five MPTCP flows on the five-link torus with link C
+    squeezed (events/s).  The figure of merit for the paper sweeps.
+``sweep_scaling``
+    A slice of the ``fig8_torus`` sweep grid executed through the
+    registered point functions, as the parallel runner would (points/s).
+
+``BENCH_*.json`` schema
+-----------------------
+
+.. code-block:: json
+
+    {
+      "schema": "repro.bench/1",
+      "scale": "full",
+      "python": "3.x.y", "platform": "...",
+      "benchmarks": {
+        "engine_micro": {
+          "wall_s": 0.61, "rate": 327000.0, "rate_unit": "events/s",
+          "events": 200000, "peak_heap_bytes": 18344,
+          "extra": {}
+        }
+      },
+      "baseline": {"engine_micro": 260000.0},
+      "gate": {"tolerance": 0.10, "passed": true, "failures": []}
+    }
+
+``rate`` is the gated quantity.  ``peak_heap_bytes`` is the tracemalloc
+peak of a separate instrumented pass (timing passes run untraced).
+``baseline``/``gate`` appear when a baseline file is available.
+
+The baseline (``benchmarks/bench_baseline.json``) is **per machine**:
+absolute rates are not comparable across hosts, so the gate only compares
+runs against a baseline recorded on the same class of machine.  The
+checked-in baseline records the pre-optimization (PR 3) state of the
+hot paths and doubles as the reference point for the PR 4 speedup claim.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+import tracemalloc
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .sim.engine import EventScheduler
+from .sim.simulation import Simulation
+
+__all__ = [
+    "BENCH_SUITE",
+    "DEFAULT_BASELINE_PATH",
+    "DEFAULT_OUT_PATH",
+    "GATE_TOLERANCE",
+    "run_suite",
+    "gate",
+    "load_baseline",
+    "write_report",
+]
+
+#: Relative regression the gate tolerates before failing (10%).
+GATE_TOLERANCE = 0.10
+
+#: Where ``repro bench`` records the trajectory file by default.
+DEFAULT_OUT_PATH = "BENCH_pr4.json"
+
+#: The recorded per-machine baseline the gate compares against.
+DEFAULT_BASELINE_PATH = "benchmarks/bench_baseline.json"
+
+#: Per-benchmark scale knobs: (timing repeats, benchmark-specific sizes).
+SCALES = {
+    "full": {
+        "repeats": 3,
+        "engine_events": 200_000,
+        "cancel_ops": 200_000,
+        "mptcp_seconds": 10.0,
+        "torus_warmup": 2.0,
+        "torus_duration": 6.0,
+        "sweep_points": 3,
+        "sweep_warmup": 1.0,
+        "sweep_duration": 2.0,
+    },
+    "quick": {
+        "repeats": 2,
+        "engine_events": 50_000,
+        "cancel_ops": 50_000,
+        "mptcp_seconds": 3.0,
+        "torus_warmup": 1.0,
+        "torus_duration": 2.0,
+        "sweep_points": 2,
+        "sweep_warmup": 0.5,
+        "sweep_duration": 1.0,
+    },
+    "smoke": {
+        "repeats": 1,
+        "engine_events": 5_000,
+        "cancel_ops": 5_000,
+        "mptcp_seconds": 1.0,
+        "torus_warmup": 0.5,
+        "torus_duration": 0.5,
+        "sweep_points": 2,
+        "sweep_warmup": 0.25,
+        "sweep_duration": 0.25,
+    },
+}
+
+
+def _noop() -> None:
+    pass
+
+
+# ----------------------------------------------------------------------
+# Benchmark bodies.  Each returns (work_count, rate_unit, extra) where
+# ``work_count / wall`` is the gated rate.
+# ----------------------------------------------------------------------
+def _bench_engine_micro(scale: dict) -> Tuple[int, str, dict]:
+    """Fire-and-forget tick chain: the queue-service / pipe-delivery
+    pattern that dominates packet simulations.  Uses the engine's best
+    no-cancel scheduling API (``post_in`` where available, falling back
+    to ``schedule_in`` so the pre-optimization engine can be measured
+    with the same body when recording a baseline)."""
+    n_events = scale["engine_events"]
+    sched = EventScheduler()
+    post_in = getattr(sched, "post_in", sched.schedule_in)
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < n_events:
+            post_in(0.001, tick)
+
+    post_in(0.001, tick)
+    sched.run()
+    assert count[0] == n_events
+    return sched.events_run, "events/s", {}
+
+
+def _bench_engine_cancel(scale: dict) -> Tuple[int, str, dict]:
+    n_ops = scale["cancel_ops"]
+    sched = EventScheduler()
+    heap_peak = 0
+    # Far-future timers armed and immediately cancelled: the RTO pattern.
+    for i in range(n_ops):
+        sched.schedule_at(1e6 + i * 1e-3, _noop).cancel()
+        if i & 0x3FF == 0:
+            heap_peak = max(heap_peak, len(sched._heap))
+    heap_peak = max(heap_peak, len(sched._heap))
+    return n_ops, "cancels/s", {
+        "heap_len_peak": heap_peak,
+        "heap_len_final": len(sched._heap),
+        "pending_final": sched.pending,
+    }
+
+
+def _bench_mptcp_micro(scale: dict) -> Tuple[int, str, dict]:
+    from .harness.experiment import make_flow
+    from .topology import build_two_links
+
+    sim = Simulation(seed=2)
+    sc = build_two_links(sim, 500.0, 500.0, buffer1_pkts=50, buffer2_pkts=50)
+    flow = make_flow(sim, sc.routes("multi"), "mptcp", name="m")
+    flow.start()
+    sim.run_until(scale["mptcp_seconds"])
+    return sim.scheduler.events_run, "events/s", {
+        "packets_delivered": flow.packets_delivered,
+    }
+
+
+def _bench_fig8_torus(scale: dict) -> Tuple[int, str, dict]:
+    from .harness.experiment import make_flow
+    from .topology import build_torus
+
+    sim = Simulation(seed=1)
+    rates = [1000.0] * 5
+    rates[2] = 250.0
+    sc = build_torus(sim, rates, delay=0.05)
+    flows = []
+    for i in range(5):
+        f = make_flow(sim, sc.routes(f"f{i}"), "mptcp", name=f"f{i}")
+        f.start(at=0.1 * i)
+        flows.append(f)
+    sim.run_until(scale["torus_warmup"] + scale["torus_duration"])
+    return sim.scheduler.events_run, "events/s", {
+        "packets_delivered": sum(f.packets_delivered for f in flows),
+    }
+
+
+def _bench_sweep_scaling(scale: dict) -> Tuple[int, str, dict]:
+    from .exp.grids import SCENARIOS, specs_for_grid
+
+    specs = specs_for_grid(
+        "fig8_torus",
+        warmup=scale["sweep_warmup"],
+        duration=scale["sweep_duration"],
+    )[: scale["sweep_points"]]
+    for spec in specs:
+        SCENARIOS[spec.scenario](spec)
+    return len(specs), "points/s", {"points": len(specs)}
+
+
+#: Ordered suite: name -> body.
+BENCH_SUITE: Dict[str, Callable[[dict], Tuple[int, str, dict]]] = {
+    "engine_micro": _bench_engine_micro,
+    "engine_cancel": _bench_engine_cancel,
+    "mptcp_micro": _bench_mptcp_micro,
+    "fig8_torus": _bench_fig8_torus,
+    "sweep_scaling": _bench_sweep_scaling,
+}
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def _time_once(body: Callable[[dict], Tuple[int, str, dict]],
+               scale: dict) -> Tuple[float, int, str, dict]:
+    start = time.perf_counter()
+    work, unit, extra = body(scale)
+    wall = time.perf_counter() - start
+    return wall, work, unit, extra
+
+
+def run_suite(
+    scale_name: str = "full",
+    only: Optional[List[str]] = None,
+    log=None,
+) -> Dict[str, dict]:
+    """Run the suite at the given scale; returns name -> result dict.
+
+    Timing is best-of-``repeats`` (untraced); a final tracemalloc pass
+    per benchmark records ``peak_heap_bytes``.
+    """
+    scale = SCALES[scale_name]
+    names = list(BENCH_SUITE) if not only else [
+        n for n in BENCH_SUITE if n in only
+    ]
+    unknown = set(only or ()) - set(BENCH_SUITE)
+    if unknown:
+        raise ValueError(f"unknown benchmarks: {', '.join(sorted(unknown))}")
+    results: Dict[str, dict] = {}
+    for name in names:
+        body = BENCH_SUITE[name]
+        best_wall, work, unit, extra = _time_once(body, scale)
+        for _ in range(scale["repeats"] - 1):
+            wall, work, unit, extra = _time_once(body, scale)
+            best_wall = min(best_wall, wall)
+        tracemalloc.start()
+        try:
+            body(scale)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        results[name] = {
+            "wall_s": round(best_wall, 6),
+            "rate": round(work / best_wall, 2) if best_wall > 0 else None,
+            "rate_unit": unit,
+            "events": work,
+            "peak_heap_bytes": peak,
+            "extra": extra,
+        }
+        if log is not None:
+            print(
+                f"  {name:<14} {results[name]['rate']:>12,.0f} {unit:<10} "
+                f"({best_wall:.3f}s wall, peak heap "
+                f"{peak / 1024:.0f} KiB)",
+                file=log,
+            )
+    return results
+
+
+def load_baseline(path: str) -> Optional[Dict[str, float]]:
+    """Read a baseline file; returns name -> rate (None if unreadable)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    rates = data.get("rates")
+    if not isinstance(rates, dict):
+        return None
+    return {k: float(v) for k, v in rates.items()}
+
+
+def gate(
+    results: Dict[str, dict],
+    baseline: Dict[str, float],
+    tolerance: float = GATE_TOLERANCE,
+) -> Tuple[bool, List[str]]:
+    """Compare rates against the baseline; returns (passed, failures).
+
+    A benchmark fails when its rate drops more than ``tolerance`` below
+    the recorded baseline rate.  Benchmarks absent from either side are
+    skipped (the suite may grow over time).
+    """
+    failures = []
+    for name, result in results.items():
+        base = baseline.get(name)
+        rate = result.get("rate")
+        if base is None or rate is None or base <= 0:
+            continue
+        if rate < (1.0 - tolerance) * base:
+            failures.append(
+                f"{name}: {rate:,.0f} {result['rate_unit']} is "
+                f"{100 * (1 - rate / base):.1f}% below baseline {base:,.0f}"
+            )
+    return not failures, failures
+
+
+def write_report(
+    path: str,
+    results: Dict[str, dict],
+    scale_name: str,
+    baseline: Optional[Dict[str, float]] = None,
+    gate_result: Optional[Tuple[bool, List[str]]] = None,
+    tolerance: float = GATE_TOLERANCE,
+) -> None:
+    report = {
+        "schema": "repro.bench/1",
+        "scale": scale_name,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": results,
+    }
+    if baseline is not None:
+        report["baseline"] = baseline
+        improvements = {}
+        for name, result in results.items():
+            base = baseline.get(name)
+            if base and result.get("rate"):
+                improvements[name] = round(result["rate"] / base - 1.0, 4)
+        report["improvement_vs_baseline"] = improvements
+    if gate_result is not None:
+        passed, failures = gate_result
+        report["gate"] = {
+            "tolerance": tolerance,
+            "passed": passed,
+            "failures": failures,
+        }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+
+def write_baseline(path: str, results: Dict[str, dict],
+                   scale_name: str) -> None:
+    data = {
+        "schema": "repro.bench-baseline/1",
+        "scale": scale_name,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "rates": {
+            name: result["rate"] for name, result in results.items()
+            if result.get("rate")
+        },
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+
+
+def main(args) -> int:
+    """Body of ``python -m repro bench`` (argparse namespace in, rc out)."""
+    only = None
+    if args.only:
+        only = [n.strip() for n in args.only.split(",") if n.strip()]
+    print(f"running bench suite (scale={args.scale}) ...")
+    results = run_suite(args.scale, only=only, log=sys.stdout)
+    if args.update_baseline:
+        write_baseline(args.baseline, results, args.scale)
+        print(f"baseline updated: {args.baseline}")
+        write_report(args.out, results, args.scale)
+        print(f"report written: {args.out}")
+        return 0
+    baseline = load_baseline(args.baseline)
+    gate_result = None
+    if baseline is not None:
+        gate_result = gate(results, baseline, tolerance=args.tolerance)
+    write_report(
+        args.out, results, args.scale,
+        baseline=baseline, gate_result=gate_result,
+        tolerance=args.tolerance,
+    )
+    print(f"report written: {args.out}")
+    if args.gate:
+        if baseline is None:
+            print(
+                f"GATE ERROR: no baseline at {args.baseline}; record one "
+                f"with: repro bench --update-baseline",
+                file=sys.stderr,
+            )
+            return 2
+        passed, failures = gate_result
+        if not passed:
+            for failure in failures:
+                print(f"GATE FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"gate passed (tolerance {100 * args.tolerance:.0f}%)")
+    return 0

@@ -26,6 +26,12 @@ Invariant-checked (optionally fault-injected) runs (see docs/CHECKING.md):
 
     python -m repro check --scenario torus_balance --fault link_flap --seed 1
     python -m repro check --scenario rtt_ratio --param c2=1600 --out check.jsonl
+
+Hot-path benchmarks and the regression gate (see docs/REPRODUCTION_NOTES.md):
+
+    python -m repro bench                    # write BENCH_pr4.json
+    python -m repro bench --gate             # fail on >10% rate regression
+    python -m repro bench --update-baseline  # re-record the local baseline
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ import json
 import sys
 from typing import List, Optional
 
+from . import bench as bench_mod
 from .check import CHECK_EVENTS, InvariantViolation, trace_override
 from .core.registry import ALGORITHMS
 from .exp import ResultCache, Runner, specs_for_grid
@@ -499,6 +506,35 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="JSONL path for check.*/fault.* events "
                         "('-' for stdout)")
     p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the hot-path benchmark suite, write a BENCH_*.json "
+             "report, optionally gate on the recorded baseline",
+    )
+    p.add_argument("--scale", choices=sorted(bench_mod.SCALES),
+                   default="full",
+                   help="suite scale (default full; smoke for CI)")
+    p.add_argument("--quick", action="store_const", const="quick",
+                   dest="scale", help="alias for --scale quick")
+    p.add_argument("--only", default=None,
+                   help="comma-separated benchmark names to run "
+                        f"(of: {', '.join(bench_mod.BENCH_SUITE)})")
+    p.add_argument("--out", default=bench_mod.DEFAULT_OUT_PATH,
+                   help=f"report path (default {bench_mod.DEFAULT_OUT_PATH})")
+    p.add_argument("--baseline", default=bench_mod.DEFAULT_BASELINE_PATH,
+                   help="baseline file to compare against "
+                        f"(default {bench_mod.DEFAULT_BASELINE_PATH})")
+    p.add_argument("--gate", action="store_true",
+                   help="exit 1 if any rate regresses more than the "
+                        "tolerance below the baseline")
+    p.add_argument("--tolerance", type=float,
+                   default=bench_mod.GATE_TOLERANCE,
+                   help="gate tolerance as a fraction (default "
+                        f"{bench_mod.GATE_TOLERANCE})")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="re-record the baseline file from this run")
+    p.set_defaults(func=bench_mod.main)
 
     p = sub.add_parser(
         "trace", help="run a scenario with event tracing, emit JSONL"

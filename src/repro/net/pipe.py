@@ -26,7 +26,7 @@ __all__ = ["Pipe", "LossyPipe"]
 class Pipe:
     """Fixed propagation delay with infinite capacity."""
 
-    __slots__ = ("sim", "delay", "name", "deliveries", "intercept")
+    __slots__ = ("sim", "delay", "name", "deliveries", "intercept", "_post_in")
 
     def __init__(self, sim: Simulation, delay: float, name: str = ""):
         if delay < 0:
@@ -38,6 +38,10 @@ class Pipe:
         #: Optional arrival interceptor (``repro.fault``): returning True
         #: consumes the packet before normal processing.
         self.intercept = None
+        # Cached hot-path scheduler entry point: deliveries are one event
+        # per packet per pipe and are never cancelled, so they take the
+        # handle-free post_in path.
+        self._post_in = sim.scheduler.post_in
         sim.register(self)
 
     def receive(self, packet: Packet) -> None:
@@ -46,7 +50,7 @@ class Pipe:
         if self.delay == 0.0:
             self._deliver(packet)
         else:
-            self.sim.schedule_in(self.delay, self._deliver, packet)
+            self._post_in(self.delay, self._deliver, packet)
 
     def _deliver(self, packet: Packet) -> None:
         self.deliveries += 1

@@ -47,6 +47,10 @@ class DropTailQueue:
     #: grew its window that round-trip.
     DEFAULT_JITTER = 0.05
 
+    #: Subclasses that support a stalled (rate 0) state relax the
+    #: constructor's positive-rate validation.
+    _allow_stalled = False
+
     __slots__ = (
         "sim",
         "rate_pps",
@@ -56,6 +60,8 @@ class DropTailQueue:
         "trace",
         "_buffer",
         "_busy",
+        "_post_in",
+        "_rand",
         "arrivals",
         "departures",
         "drops",
@@ -72,7 +78,7 @@ class DropTailQueue:
         jitter: Optional[float] = None,
         trace=None,
     ):
-        if rate_pps <= 0:
+        if rate_pps <= 0 and not (self._allow_stalled and rate_pps == 0):
             raise ValueError(f"queue rate must be positive, got {rate_pps!r}")
         if capacity < 1:
             raise ValueError(f"queue capacity must be >= 1, got {capacity!r}")
@@ -86,6 +92,13 @@ class DropTailQueue:
         self.trace = sim.trace if trace is None else trace
         self._buffer: deque = deque()
         self._busy = False
+        # Cached bound methods: service scheduling and jitter draws sit on
+        # the per-packet hot path, and the attribute chains
+        # (sim.scheduler.post_in, sim.rng.random) cost more than the work
+        # they wrap.  post_in skips the EventHandle allocation entirely —
+        # service completions are never cancelled.
+        self._post_in = sim.scheduler.post_in
+        self._rand = sim.rng.random
         self.arrivals = 0
         self.departures = 0
         self.drops = 0
@@ -164,8 +177,8 @@ class DropTailQueue:
         if self.jitter:
             # Mean-preserving uniform jitter; FIFO order is inherent
             # because there is a single server.
-            service *= 1.0 + self.jitter * (2.0 * self.sim.rng.random() - 1.0)
-        self.sim.schedule_in(service, self._complete)
+            service *= 1.0 + self.jitter * (2.0 * self._rand() - 1.0)
+        self._post_in(service, self._complete)
 
     def _complete(self) -> None:
         packet = self._buffer.popleft()
@@ -189,20 +202,26 @@ class VariableRateQueue(DropTailQueue):
     buffered (up to capacity) but nothing is served until the rate becomes
     positive again.  The rate change takes effect from the next packet; the
     packet currently in transmission completes at its old rate.
+
+    Constructing with ``rate_pps=0`` starts the queue stalled.  The stalled
+    state and the real rate (0.0) are in place *before* the base
+    constructor registers the queue with the simulation, so registration
+    watchers (invariant monitor, series probes) never observe a
+    placeholder rate, and ``_start_service`` can never divide by a
+    stale bookkeeping value: service is only ever started from a
+    positive-rate transition.
     """
+
+    _allow_stalled = True
 
     __slots__ = ("_stalled",)
 
     def __init__(self, sim, rate_pps, capacity, name="", jitter=None, trace=None):
-        # Allow constructing in the stalled state with rate 0.
-        stalled = rate_pps <= 0
+        self._stalled = rate_pps <= 0
         super().__init__(
-            sim, rate_pps if not stalled else 1.0, capacity, name,
+            sim, max(0.0, float(rate_pps)), capacity, name,
             jitter=jitter, trace=trace,
         )
-        self._stalled = stalled
-        if stalled:
-            self.rate_pps = 0.0
 
     def set_rate(self, rate_pps: float) -> None:
         """Change the service rate; 0 (or negative) stalls the queue."""

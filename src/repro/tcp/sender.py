@@ -87,6 +87,12 @@ class TcpSender:
         self._lost: Set[int] = set()   # holes marked lost, not yet resent
         self._rtx: Set[int] = set()    # holes resent this recovery episode
 
+        # Karn's algorithm: sequence numbers that have been retransmitted
+        # and not yet cumulatively acknowledged.  An ACK covering any of
+        # them is ambiguous (it may acknowledge the original or the copy)
+        # and must not produce an RTT sample.
+        self._retx_pending: Set[int] = set()
+
         # Timing.
         self.rtt = RttEstimator(min_rto=min_rto)
         self._rtx_timer = None
@@ -224,7 +230,10 @@ class TcpSender:
             acquired, dsn = self._acquire_payload(seq)
             if not acquired:
                 return False
-            self._dsn_map[seq] = dsn
+            if dsn is not None:
+                # Single-path flows never carry a DSN, so they skip the
+                # mapping dict entirely (and _release_mappings early-outs).
+                self._dsn_map[seq] = dsn
             self._transmit(seq, dsn, is_retransmit=False)
             self.max_seq_sent = seq + 1
         self.highest_sent = seq + 1
@@ -254,6 +263,7 @@ class TcpSender:
         self.packets_sent += 1
         if is_retransmit:
             self.retransmissions += 1
+            self._retx_pending.add(seq)
         packet.send()
 
     def _fast_retransmit(self, seq: int) -> None:
@@ -299,17 +309,30 @@ class TcpSender:
     def _update_scoreboard(self, ack: AckPacket) -> None:
         if not self.enable_sack or not ack.sack_blocks:
             return
+        last_acked = self.last_acked
+        sacked = self._sacked
         for start, end in ack.sack_blocks:
-            if end > self.last_acked:
-                self._sacked.add(max(start, self.last_acked), end)
-        if self._lost:
-            self._lost = {s for s in self._lost if s not in self._sacked}
-        if self._rtx:
-            self._rtx = {s for s in self._rtx if s not in self._sacked}
+            if end > last_acked:
+                sacked.add(max(start, last_acked), end)
+        # In-place difference updates: rebuilding these sets with a
+        # comprehension on every SACK-bearing ACK allocated a fresh set
+        # even when nothing changed, which showed up in the ACK-path
+        # profile.  Observable behaviour is identical (see the property
+        # test in tests/test_properties.py).
+        lost = self._lost
+        if lost:
+            dead = [s for s in lost if s in sacked]
+            if dead:
+                lost.difference_update(dead)
+        rtx = self._rtx
+        if rtx:
+            dead = [s for s in rtx if s in sacked]
+            if dead:
+                rtx.difference_update(dead)
 
     def _on_new_ack(self, ackno: int, ack: AckPacket) -> None:
         newly_acked = ackno - self.last_acked
-        self.rtt.sample(max(1e-9, self.sim.now - ack.echo_timestamp))
+        self._sample_rtt(ackno, ack)
         self._release_mappings(self.last_acked, ackno)
         self.last_acked = ackno
         if ackno > self.highest_sent:
@@ -318,10 +341,16 @@ class TcpSender:
             self.highest_sent = ackno
         self.dup_acks = 0
         self._sacked.discard_below(ackno)
-        if self._lost:
-            self._lost = {s for s in self._lost if s >= ackno}
-        if self._rtx:
-            self._rtx = {s for s in self._rtx if s >= ackno}
+        lost = self._lost
+        if lost:
+            dead = [s for s in lost if s < ackno]
+            if dead:
+                lost.difference_update(dead)
+        rtx = self._rtx
+        if rtx:
+            dead = [s for s in rtx if s < ackno]
+            if dead:
+                rtx.difference_update(dead)
 
         if self.in_recovery:
             if ackno >= self.recover_seq:
@@ -345,6 +374,35 @@ class TcpSender:
 
         self._ensure_timer(reset=True)
         self._check_complete()
+
+    def _sample_rtt(self, ackno: int, ack: AckPacket) -> None:
+        """Take an RTT sample unless Karn's algorithm forbids it.
+
+        A sample is ambiguous when the ACK echoes a retransmitted
+        segment's timestamp, or when the cumulative ACK advance covers any
+        sequence number that was ever retransmitted: the acknowledgment
+        could belong to the original transmission or to the copy, and
+        folding the wrong round trip into SRTT corrupts the RTO (RFC 6298
+        §5 / Karn & Partridge).  Suppressing the sample also leaves the
+        timer backoff in force until an unambiguous segment round-trips.
+        """
+        ambiguous = ack.for_retransmit
+        retx_pending = self._retx_pending
+        if retx_pending:
+            # Drop acked entries in-place; iterate over whichever of the
+            # pending set / acked range is smaller.
+            if len(retx_pending) <= ackno - self.last_acked:
+                dead = [s for s in retx_pending if s < ackno]
+            else:
+                dead = [
+                    s for s in range(self.last_acked, ackno)
+                    if s in retx_pending
+                ]
+            if dead:
+                ambiguous = True
+                retx_pending.difference_update(dead)
+        if not ambiguous:
+            self.rtt.sample(max(1e-9, self.sim.now - ack.echo_timestamp))
 
     def _grow_window(self, newly_acked: int) -> None:
         for _ in range(newly_acked):
@@ -418,8 +476,12 @@ class TcpSender:
                 self._lost.add(seq)
 
     def _release_mappings(self, lo: int, hi: int) -> None:
+        dsn_map = self._dsn_map
+        if not dsn_map:
+            return  # single-path flow: the map is never populated
+        pop = dsn_map.pop
         for seq in range(lo, hi):
-            self._dsn_map.pop(seq, None)
+            pop(seq, None)
 
     def _check_complete(self) -> None:
         limit = self.source.limit
@@ -490,8 +552,13 @@ class TcpSender:
         # Clear the stale deadline so maybe_send() arms a fresh timer with
         # the backed-off RTO (leaving it would re-fire at the same instant).
         self._timer_deadline = None
+        # ssthresh derives from the window the flow actually had when the
+        # timer fired.  The controller hook may itself collapse cwnd (it
+        # owns shared multi-subflow state), so snapshot first — otherwise
+        # the flow is double-penalized: ssthresh = collapsed/2.
+        cwnd_at_timeout = self.cwnd
         self.controller.on_timeout(self)
-        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.ssthresh = max(cwnd_at_timeout / 2.0, 2.0)
         self.cwnd = self.min_cwnd
         if self.trace.enabled:
             self._trace_cwnd("timeout")

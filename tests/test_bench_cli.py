@@ -1,0 +1,95 @@
+"""CLI tests for ``repro bench`` and its regression gate.
+
+Everything runs at ``--scale smoke`` (a few thousand events per
+benchmark) so the whole file stays inside tier-1 time budgets.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import BENCH_SUITE, SCALES
+from repro.cli import main
+
+
+def run_bench(tmp_path, *extra):
+    out = tmp_path / "report.json"
+    base = tmp_path / "baseline.json"
+    rc = main([
+        "bench", "--scale", "smoke",
+        "--out", str(out), "--baseline", str(base), *extra,
+    ])
+    return rc, out, base
+
+
+class TestBenchReport:
+    def test_smoke_run_writes_schema_report(self, tmp_path, capsys):
+        rc, out, _ = run_bench(tmp_path)
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro.bench/1"
+        assert report["scale"] == "smoke"
+        assert set(report["benchmarks"]) == set(BENCH_SUITE)
+        for name, result in report["benchmarks"].items():
+            assert result["rate"] > 0, name
+            assert result["wall_s"] > 0, name
+            assert result["peak_heap_bytes"] >= 0, name
+        assert "report written" in capsys.readouterr().out
+
+    def test_only_filter_restricts_suite(self, tmp_path, capsys):
+        rc, out, _ = run_bench(tmp_path, "--only", "engine_micro")
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert set(report["benchmarks"]) == {"engine_micro"}
+
+    def test_scales_are_registered(self):
+        assert {"full", "quick", "smoke"} <= set(SCALES)
+
+
+class TestBenchGate:
+    def test_gate_without_baseline_errors(self, tmp_path, capsys):
+        rc, _, _ = run_bench(tmp_path, "--gate")
+        assert rc == 2
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_gate_passes_against_achievable_baseline(self, tmp_path, capsys):
+        """Smoke timings are noisy, so gate against a baseline recorded at
+        1% of a measured run — any sane re-run clears that bar."""
+        rc, _, base = run_bench(tmp_path, "--update-baseline")
+        assert rc == 0
+        data = json.loads(base.read_text())
+        assert data["schema"] == "repro.bench-baseline/1"
+        data["rates"] = {k: v * 0.01 for k, v in data["rates"].items()}
+        base.write_text(json.dumps(data))
+        rc, out, _ = run_bench(tmp_path, "--gate")
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["gate"]["passed"] is True
+        assert report["improvement_vs_baseline"].keys() == report["benchmarks"].keys()
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_gate_fails_on_regression(self, tmp_path, capsys):
+        """A baseline recorded at impossible rates must trip the gate."""
+        rc, _, base = run_bench(tmp_path, "--update-baseline")
+        assert rc == 0
+        data = json.loads(base.read_text())
+        data["rates"] = {k: v * 100.0 for k, v in data["rates"].items()}
+        base.write_text(json.dumps(data))
+        rc, out, _ = run_bench(tmp_path, "--gate")
+        assert rc == 1
+        assert "GATE FAIL" in capsys.readouterr().err
+        report = json.loads(out.read_text())
+        assert report["gate"]["passed"] is False
+        assert report["gate"]["failures"]
+
+    def test_tolerance_is_respected(self, tmp_path):
+        """Against a 2x-inflated baseline a 10% tolerance fails but a 90%
+        tolerance passes (both margins far wider than smoke noise)."""
+        rc, _, base = run_bench(tmp_path, "--update-baseline")
+        data = json.loads(base.read_text())
+        data["rates"] = {k: v * 2.0 for k, v in data["rates"].items()}
+        base.write_text(json.dumps(data))
+        rc, _, _ = run_bench(tmp_path, "--gate", "--tolerance", "0.1")
+        assert rc == 1
+        rc, _, _ = run_bench(tmp_path, "--gate", "--tolerance", "0.9")
+        assert rc == 0

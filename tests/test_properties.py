@@ -203,3 +203,91 @@ class TestEngineProperties:
         sched.run()
         assert fired == sorted(times)
         assert len(fired) == len(times)
+
+
+class TestScoreboardEquivalence:
+    """The in-place SACK scoreboard updates (PR 4's hot-path pass) must be
+    observably identical to the original set-comprehension rebuilds."""
+
+    SEQ_SPACE = 48
+
+    @staticmethod
+    def _reference_sack(sacked, lost, rtx, last_acked, blocks):
+        """Pre-optimization semantics of ``_update_scoreboard``."""
+        if not blocks:
+            return sacked, lost, rtx
+        sacked = set(sacked)
+        for start, end in blocks:
+            if end > last_acked:
+                sacked |= set(range(max(start, last_acked), end))
+        lost = {s for s in lost if s not in sacked}
+        rtx = {s for s in rtx if s not in sacked}
+        return sacked, lost, rtx
+
+    @staticmethod
+    def _reference_advance(sacked, lost, rtx, ackno):
+        """Pre-optimization semantics of the ``_on_new_ack`` prune."""
+        return (
+            {s for s in sacked if s >= ackno},
+            {s for s in lost if s >= ackno},
+            {s for s in rtx if s >= ackno},
+        )
+
+    @given(
+        lost=st.sets(st.integers(0, 47), max_size=12),
+        rtx=st.sets(st.integers(0, 47), max_size=12),
+        acks=st.lists(
+            st.tuples(
+                st.integers(0, 6),  # cumulative ACK advance
+                st.lists(           # SACK blocks (start, length)
+                    st.tuples(st.integers(0, 46), st.integers(1, 6)),
+                    max_size=3,
+                ),
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_inplace_updates_match_set_rebuild_semantics(
+        self, lost, rtx, acks
+    ):
+        from repro.core.uncoupled import RenoController
+        from repro.net.packet import AckPacket
+        from repro.sim.simulation import Simulation
+        from repro.tcp.sender import TcpSender
+
+        sim = Simulation(seed=0)
+        sender = TcpSender(sim, RenoController(), name="prop")
+        sender.highest_sent = sender.max_seq_sent = self.SEQ_SPACE + 16
+        sender._lost = set(lost)
+        sender._rtx = set(rtx)
+
+        ref_sacked: set = set()
+        ref_lost, ref_rtx = set(lost), set(rtx)
+
+        for advance, raw_blocks in acks:
+            blocks = tuple(
+                (start, min(start + length, self.SEQ_SPACE))
+                for start, length in raw_blocks
+                if start < self.SEQ_SPACE
+            )
+            ackno = sender.last_acked + advance
+            ack = AckPacket((sender,), flow=sender, ack_seq=ackno,
+                            echo_timestamp=0.0, sack_blocks=blocks)
+
+            sender._update_scoreboard(ack)
+            ref_sacked, ref_lost, ref_rtx = self._reference_sack(
+                ref_sacked, ref_lost, ref_rtx, sender.last_acked, blocks
+            )
+            if ackno > sender.last_acked:
+                sender._on_new_ack(ackno, ack)
+                ref_sacked, ref_lost, ref_rtx = self._reference_advance(
+                    ref_sacked, ref_lost, ref_rtx, ackno
+                )
+
+            limit = self.SEQ_SPACE + 16
+            got_sacked = {s for s in range(limit) if s in sender._sacked}
+            assert got_sacked == ref_sacked
+            assert sender._lost == ref_lost
+            assert sender._rtx == ref_rtx

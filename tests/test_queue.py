@@ -144,3 +144,40 @@ class TestVariableRateQueue:
         sim.run()
         assert q.drops == 2
         assert q.occupancy == 3
+
+    def test_construct_stalled_reports_true_rate(self):
+        """Regression: rate 0 at construction used to be smuggled through
+        validation as a placeholder 1.0, so a registration watcher (or
+        anything reading ``rate_pps`` before the first ``set_rate``) saw a
+        phantom 1 pkt/s link."""
+        sim = Simulation()
+        seen = []
+        sim.on_register(
+            lambda c: seen.append(c.rate_pps)
+            if isinstance(c, VariableRateQueue) else None
+        )
+        q = VariableRateQueue(sim, rate_pps=0.0, capacity=4, jitter=0.0)
+        assert q.rate_pps == 0.0
+        assert seen == [0.0]
+
+    def test_construct_stalled_then_set_rate_serves_exactly(self):
+        """A queue born stalled must serve at exactly the first positive
+        rate it is given — no division by the placeholder, no residue."""
+        sim = Simulation()
+        q = VariableRateQueue(sim, rate_pps=0.0, capacity=10, jitter=0.0)
+        sink = Collector(sim)
+        send_packets(sim, q, sink, 3)
+        sim.run_until(1.0)
+        assert sink.arrivals == []          # still stalled, nothing served
+        q.set_rate(4.0)
+        sim.run()
+        assert sink.arrivals == pytest.approx([1.25, 1.5, 1.75])
+
+    def test_fixed_queue_still_rejects_nonpositive_rate(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            DropTailQueue(sim, rate_pps=0.0, capacity=4)
+        # Negative means "stalled" for the variable-rate queue, exactly as
+        # in set_rate(); it is clamped to 0, never used as a divisor.
+        q = VariableRateQueue(sim, rate_pps=-1.0, capacity=4)
+        assert q.rate_pps == 0.0

@@ -222,3 +222,114 @@ class TestSenderRecoveryInternals:
                                  echo_timestamp=0.0))
         assert 0 not in sender._dsn_map and 1 not in sender._dsn_map
         assert 2 in sender._dsn_map
+
+
+class TestKarnRttSampling:
+    """Karn's algorithm: ACKs that may acknowledge a retransmitted copy
+    carry no usable RTT information and must not feed the estimator."""
+
+    def _sender(self, sim, **kwargs):
+        sender = TcpSender(sim, RenoController(), name="tx", **kwargs)
+        sender.attach(lossy_route(sim, 0.0), TcpReceiver(sim, name="rx"))
+        return sender
+
+    def test_retransmit_registers_pending_ambiguity(self, sim):
+        sender = self._sender(sim)
+        sender._transmit(3, None, is_retransmit=True)
+        assert 3 in sender._retx_pending
+        sender._transmit(4, None, is_retransmit=False)
+        assert 4 not in sender._retx_pending
+
+    def test_ack_flagged_for_retransmit_is_not_sampled(self, sim):
+        sender = self._sender(sim)
+        sender.running = True
+        sender.highest_sent = sender.max_seq_sent = 2
+        sender.receive(AckPacket((sender,), flow=sender, ack_seq=1,
+                                 echo_timestamp=0.0, for_retransmit=True))
+        assert sender.rtt.srtt is None
+
+    def test_ack_covering_retransmitted_seq_is_not_sampled(self, sim):
+        sender = self._sender(sim)
+        sender.running = True
+        sender.highest_sent = sender.max_seq_sent = 4
+        sender._retx_pending.add(0)
+        sender.receive(AckPacket((sender,), flow=sender, ack_seq=4,
+                                 echo_timestamp=0.0))
+        assert sender.rtt.srtt is None
+        assert sender._retx_pending == set()   # ambiguity consumed
+
+    def test_rto_does_not_collapse_below_true_path_rtt(self, sim):
+        """The bug this guards against: after an RTO the retransmitted
+        segment's ACK echoed the *retransmission's* timestamp, yielding a
+        near-zero apparent RTT that dragged SRTT (and with it the RTO)
+        far below the true path RTT — guaranteeing a spurious timeout."""
+        true_rtt = 0.5
+        sender = self._sender(sim)
+        sender.running = True
+        sender.highest_sent = sender.max_seq_sent = 4
+        sender.rtt.back_off()            # an RTO has fired
+        sender._retx_pending.add(0)      # ...and seq 0 was resent
+        sim.run_until(0.6)
+        # Cumulative ACK covering the retransmit, apparent RTT of 10 ms.
+        sender.receive(AckPacket((sender,), flow=sender, ack_seq=4,
+                                 echo_timestamp=0.59))
+        assert sender.rtt.srtt is None           # sample suppressed
+        assert sender.rtt.backoff == 2.0         # backoff still in force
+        assert sender.rtt.rto >= true_rtt
+
+    def test_unambiguous_ack_resumes_sampling(self, sim):
+        sender = self._sender(sim)
+        sender.running = True
+        sender.highest_sent = sender.max_seq_sent = 6
+        sender._retx_pending.add(2)
+        # ACK up to 2: does not cover the retransmitted seq — sampled.
+        sim.run_until(0.1)
+        sender.receive(AckPacket((sender,), flow=sender, ack_seq=2,
+                                 echo_timestamp=0.0))
+        assert sender.rtt.srtt == pytest.approx(0.1)
+        # ACK covering seq 2: suppressed (estimate unchanged).
+        sim.run_until(0.2)
+        sender.receive(AckPacket((sender,), flow=sender, ack_seq=4,
+                                 echo_timestamp=0.0))
+        assert sender.rtt.srtt == pytest.approx(0.1)
+        # Ambiguity cleared: the next ACK is sampled again (EWMA moves
+        # towards the 50 ms sample).
+        sim.run_until(0.3)
+        sender.receive(AckPacket((sender,), flow=sender, ack_seq=6,
+                                 echo_timestamp=0.25))
+        assert sender.rtt.srtt == pytest.approx(0.1 + 0.125 * (0.05 - 0.1))
+
+
+class CollapsingController(RenoController):
+    """Models a coupled controller whose timeout hook touches the flow's
+    window (it owns shared multi-subflow state)."""
+
+    def on_timeout(self, flow):
+        flow.cwnd = flow.min_cwnd
+
+
+class TestTimeoutSsthreshOrdering:
+    def test_ssthresh_derives_from_window_at_timeout(self, sim):
+        """Regression: ssthresh was computed *after* the controller hook
+        ran, so a hook that collapsed cwnd double-penalized the flow
+        (ssthresh = collapsed/2 instead of old_window/2)."""
+        sender = TcpSender(sim, CollapsingController(), name="tx")
+        sender.cwnd = 16.0
+        sender.highest_sent = sender.max_seq_sent = 20
+        sender.last_acked = 4
+        sender._on_timeout()
+        assert sender.ssthresh == pytest.approx(8.0)
+        assert sender.cwnd == sender.min_cwnd
+
+    def test_every_registry_controller_halves_timeout_window(self):
+        from repro.core.registry import ALGORITHMS, make_controller
+        from repro.sim.simulation import Simulation
+
+        for name in sorted(ALGORITHMS):
+            sim = Simulation(seed=42)
+            sender = TcpSender(sim, make_controller(name), name=f"tx-{name}")
+            sender.cwnd = 12.0
+            sender.highest_sent = sender.max_seq_sent = 15
+            sender._on_timeout()
+            assert sender.ssthresh == pytest.approx(6.0), name
+            assert sender.cwnd == sender.min_cwnd, name

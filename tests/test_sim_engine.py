@@ -142,6 +142,104 @@ class TestRunUntil:
         assert sched.events_run == 5
 
 
+class TestPosting:
+    def test_post_at_fires_without_handle(self):
+        sched = EventScheduler()
+        fired = []
+        assert sched.post_at(1.0, fired.append, "x") is None
+        sched.run()
+        assert fired == ["x"]
+
+    def test_post_in_is_relative(self):
+        sched = EventScheduler()
+        times = []
+        sched.schedule_at(1.0, lambda: sched.post_in(2.0, lambda: times.append(sched.now)))
+        sched.run()
+        assert times == [3.0]
+
+    def test_posted_and_scheduled_interleave_fifo(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule_at(1.0, fired.append, "a")
+        sched.post_at(1.0, fired.append, "b")
+        sched.schedule_at(1.0, fired.append, "c")
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_post_in_the_past_raises(self):
+        sched = EventScheduler()
+        sched.schedule_at(1.0, lambda: None)
+        sched.run()
+        with pytest.raises(SimulationError):
+            sched.post_at(0.5, lambda: None)
+        with pytest.raises(SimulationError):
+            sched.post_in(-0.1, lambda: None)
+
+
+class TestTombstones:
+    def test_pending_excludes_cancelled_events(self):
+        sched = EventScheduler()
+        handles = [sched.schedule_at(float(t + 1), lambda: None) for t in range(10)]
+        assert sched.pending == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        assert sched.pending == 6
+        assert sched.tombstones == 4
+
+    def test_cancel_after_fire_leaves_counts_exact(self):
+        sched = EventScheduler()
+        handle = sched.schedule_at(1.0, lambda: None)
+        sched.run()
+        handle.cancel()
+        handle.cancel()
+        assert sched.pending == 0
+        assert sched.tombstones == 0
+
+    def test_cancelling_many_timers_keeps_heap_bounded(self):
+        """The RTO-rearm pattern: schedule a far-future timer, cancel it,
+        repeat.  Tombstones must be compacted away, not accumulate."""
+        sched = EventScheduler()
+        live = sched.schedule_at(1e9, lambda: None)
+        n = 10_000
+        for _ in range(n):
+            handle = sched.schedule_at(1e9, lambda: None)
+            handle.cancel()
+        assert sched.pending == 1
+        assert not live.cancelled
+        # Far smaller than the n cancelled entries: compaction ran.
+        assert len(sched._heap) < 200
+
+    def test_compaction_preserves_live_events_and_order(self):
+        sched = EventScheduler()
+        fired = []
+        keep = []
+        for i in range(500):
+            handle = sched.schedule_at(float(i + 1), fired.append, i)
+            if i % 3 == 0:
+                keep.append(i)
+            else:
+                handle.cancel()
+        sched.run()
+        assert fired == keep
+
+    def test_compaction_during_run_does_not_lose_new_events(self):
+        """Events scheduled after a mid-run compaction must still fire
+        (compaction must keep the heap list identity the dispatch loop
+        aliases)."""
+        sched = EventScheduler()
+        fired = []
+
+        def churn_then_schedule():
+            for _ in range(500):
+                sched.schedule_at(1e9, lambda: None).cancel()
+            sched.schedule_in(1.0, fired.append, "late")
+
+        sched.schedule_at(1.0, churn_then_schedule)
+        sched.run_until(10.0)
+        assert fired == ["late"]
+        assert sched.pending == 0
+
+
 class TestSimulation:
     def test_seeded_rng_is_deterministic(self):
         a = Simulation(seed=7).rng.random()
