@@ -15,15 +15,20 @@
 #                    the schema in docs/OBSERVABILITY.md
 #   make sweep-demo  8-point grid over 2 workers, rerun warm from the
 #                    result cache, progress trace validated
+#   make pathmgr-test  path-management tests only (pytest -m pathmgr)
+#   make handover-demo scripted WiFi→3G handover (§5 mobility) under the
+#                    invariant monitor, pathmgr trace validated against
+#                    the schema — see docs/PATH_MANAGEMENT.md
 
 PYTHON    ?= python
 PP        := PYTHONPATH=src
 TRACE_OUT ?= quickstart-trace.jsonl
+HANDOVER_OUT ?= handover-trace.jsonl
 SWEEP_CACHE ?= .sweep-demo-cache
 BENCH_OUT ?= BENCH_pr4.json
 
-.PHONY: test obs-test sweep-test check-test bench bench-gate bench-smoke \
-	bench-baseline trace-demo sweep-demo
+.PHONY: test obs-test sweep-test check-test pathmgr-test bench bench-gate \
+	bench-smoke bench-baseline trace-demo sweep-demo handover-demo
 
 test:
 	$(PP) $(PYTHON) -m pytest -x -q
@@ -36,6 +41,9 @@ sweep-test:
 
 check-test:
 	$(PP) $(PYTHON) -m pytest -m "invariants or fault" -q
+
+pathmgr-test:
+	$(PP) $(PYTHON) -m pytest -m pathmgr -q
 
 bench:
 	$(PP) $(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -60,3 +68,8 @@ sweep-demo:
 	$(PP) $(PYTHON) -m repro sweep demo_rtt --parallel 2 \
 		--cache-dir $(SWEEP_CACHE) --trace sweep-demo-trace.jsonl
 	$(PP) $(PYTHON) -m repro trace-validate sweep-demo-trace.jsonl
+
+handover-demo:
+	$(PP) $(PYTHON) -m repro handover --trace $(HANDOVER_OUT)
+	$(PP) $(PYTHON) -m repro handover --mode make_before_break
+	$(PP) $(PYTHON) -m repro trace-validate $(HANDOVER_OUT)

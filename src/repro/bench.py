@@ -35,6 +35,10 @@ The suite
 ``sweep_scaling``
     A slice of the ``fig8_torus`` sweep grid executed through the
     registered point functions, as the parallel runner would (points/s).
+``pathmgr_scenarios``
+    One ``wifi_3g_handover`` point plus one ``subflow_churn`` point —
+    the dynamic subflow lifecycle (MP_JOIN, retirement/reinjection,
+    standby activation) on top of the usual packet hot path (points/s).
 
 ``BENCH_*.json`` schema
 -----------------------
@@ -111,6 +115,8 @@ SCALES = {
         "sweep_points": 3,
         "sweep_warmup": 1.0,
         "sweep_duration": 2.0,
+        "pathmgr_warmup": 2.0,
+        "pathmgr_duration": 6.0,
     },
     "quick": {
         "repeats": 2,
@@ -122,6 +128,8 @@ SCALES = {
         "sweep_points": 2,
         "sweep_warmup": 0.5,
         "sweep_duration": 1.0,
+        "pathmgr_warmup": 1.0,
+        "pathmgr_duration": 3.0,
     },
     "smoke": {
         "repeats": 1,
@@ -133,6 +141,8 @@ SCALES = {
         "sweep_points": 2,
         "sweep_warmup": 0.25,
         "sweep_duration": 0.25,
+        "pathmgr_warmup": 0.5,
+        "pathmgr_duration": 1.5,
     },
 }
 
@@ -230,6 +240,30 @@ def _bench_sweep_scaling(scale: dict) -> Tuple[int, str, dict]:
     return len(specs), "points/s", {"points": len(specs)}
 
 
+def _bench_pathmgr_scenarios(scale: dict) -> Tuple[int, str, dict]:
+    from .exp.grids import SCENARIOS
+    from .exp.spec import ScenarioSpec
+
+    points = (
+        ("wifi_3g_handover", {"mode": "break_before_make"}),
+        ("subflow_churn", {"policy": "full_mesh",
+                           "churn_period": scale["pathmgr_duration"] / 2.0}),
+    )
+    rows = []
+    for scenario, params in points:
+        spec = ScenarioSpec(
+            scenario=scenario, params=params, seed=5,
+            warmup=scale["pathmgr_warmup"],
+            duration=scale["pathmgr_duration"],
+        )
+        rows.append(SCENARIOS[scenario](spec))
+    return len(rows), "points/s", {
+        "handovers": rows[0]["handovers"],
+        "subflows_opened": sum(r["subflows_opened"] for r in rows),
+        "delivery_gap": sum(r["delivery_gap"] for r in rows),
+    }
+
+
 #: Ordered suite: name -> body.
 BENCH_SUITE: Dict[str, Callable[[dict], Tuple[int, str, dict]]] = {
     "engine_micro": _bench_engine_micro,
@@ -237,6 +271,7 @@ BENCH_SUITE: Dict[str, Callable[[dict], Tuple[int, str, dict]]] = {
     "mptcp_micro": _bench_mptcp_micro,
     "fig8_torus": _bench_fig8_torus,
     "sweep_scaling": _bench_sweep_scaling,
+    "pathmgr_scenarios": _bench_pathmgr_scenarios,
 }
 
 

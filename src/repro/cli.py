@@ -27,6 +27,12 @@ Invariant-checked (optionally fault-injected) runs (see docs/CHECKING.md):
     python -m repro check --scenario torus_balance --fault link_flap --seed 1
     python -m repro check --scenario rtt_ratio --param c2=1600 --out check.jsonl
 
+Path management and mobility (see docs/PATH_MANAGEMENT.md):
+
+    python -m repro handover --mode make_before_break
+    python -m repro handover --policy full_mesh --trace handover.jsonl
+    python -m repro sweep wifi_3g_handover --parallel 2
+
 Hot-path benchmarks and the regression gate (see docs/REPRODUCTION_NOTES.md):
 
     python -m repro bench                    # write BENCH_pr4.json
@@ -61,6 +67,7 @@ from .obs import (
     TraceSchemaError,
     validate_jsonl,
 )
+from .pathmgr import HANDOVER_MODES, PATHMGR_EVENTS, POLICIES
 from .sim.simulation import Simulation
 from .topology import (
     SWEEP_GRIDS,
@@ -303,6 +310,66 @@ def _cmd_check(args) -> int:
     return 0
 
 
+def _cmd_handover(args) -> int:
+    spec = ScenarioSpec(
+        scenario="wifi_3g_handover",
+        params={
+            "algo": args.algo,
+            "policy": args.policy,
+            "mode": args.mode,
+            "degraded_mbps": args.degraded_mbps,
+            "check": 1,
+        },
+        seed=args.seed,
+        warmup=args.warmup,
+        duration=args.duration,
+    )
+    sink = bus = None
+    if args.trace:
+        sink = JsonlSink(args.trace)
+        bus = TraceBus(sinks=[FilterSink(sink, PATHMGR_EVENTS | CHECK_EVENTS)])
+    try:
+        if bus is not None:
+            with trace_override(bus):
+                row = SCENARIOS["wifi_3g_handover"](spec)
+        else:
+            row = SCENARIOS["wifi_3g_handover"](spec)
+    except InvariantViolation as exc:
+        print(f"VIOLATION: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if bus is not None:
+            bus.close()
+    table = Table(["phase", "pkt/s", "Mb/s"], precision=1)
+    table.add_row(["before outage", row["pre_pps"],
+                   pps_to_mbps(row["pre_pps"])])
+    table.add_row(["during outage", row["outage_pps"],
+                   pps_to_mbps(row["outage_pps"])])
+    table.add_row(["after recovery", row["post_pps"],
+                   pps_to_mbps(row["post_pps"])])
+    print(table.render(
+        f"WiFi→3G handover: {args.algo}, {args.policy} policy, "
+        f"{args.mode} (seed {args.seed})"
+    ))
+    print(
+        f"handovers={row['handovers']}  "
+        f"subflows opened={row['subflows_opened']} "
+        f"closed={row['subflows_closed']}  "
+        f"join failures={row['join_failures']}  "
+        f"delivery gap={row['delivery_gap']}  "
+        f"violations={row['violations']}"
+    )
+    if args.trace:
+        print(f"wrote {sink.records_written} pathmgr/check events "
+              f"to {args.trace}")
+    if row["delivery_gap"]:
+        print("FAIL: nonzero delivery gap — data acknowledged at "
+              "connection level but never delivered in order",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 #: Scenarios the observability commands can build (small, fast shapes that
 #: cover single-path, multipath and wireless instrumentation).
 OBS_SCENARIOS = ("quickstart", "twolinks", "wireless")
@@ -506,6 +573,29 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="JSONL path for check.*/fault.* events "
                         "('-' for stdout)")
     p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser(
+        "handover",
+        help="§5 mobility: scripted WiFi outage with path-manager "
+             "failover to 3G (see docs/PATH_MANAGEMENT.md)",
+    )
+    p.add_argument("--algo", default="lia", choices=sorted(ALGORITHMS))
+    p.add_argument("--policy", default="backup", choices=sorted(POLICIES),
+                   help="path-manager policy (default backup: 3G hot "
+                        "standby)")
+    p.add_argument("--mode", default="break_before_make",
+                   choices=HANDOVER_MODES)
+    p.add_argument("--degraded-mbps", type=float, default=5.0,
+                   help="make-before-break pre-warm threshold, Mb/s "
+                        "(default 5)")
+    p.add_argument("--seed", type=int, default=17)
+    p.add_argument("--warmup", type=float, default=6.0)
+    p.add_argument("--duration", type=float, default=18.0,
+                   help="measurement window; the WiFi outage spans its "
+                        "middle third")
+    p.add_argument("--trace", default=None,
+                   help="write pathmgr.*/check.* events to this JSONL file")
+    p.set_defaults(func=_cmd_handover)
 
     p = sub.add_parser(
         "bench",

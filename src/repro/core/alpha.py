@@ -28,6 +28,7 @@ __all__ = [
     "mptcp_increase_bruteforce",
     "rfc6356_alpha",
     "rfc6356_increase",
+    "AlphaCache",
 ]
 
 
@@ -104,6 +105,69 @@ def rfc6356_alpha(windows: Sequence[float], rtts: Sequence[float]) -> float:
     numerator = max(w / (r * r) for w, r in zip(windows, rtts))
     denominator = sum(w / r for w, r in zip(windows, rtts))
     return total * numerator / (denominator * denominator)
+
+
+class AlphaCache:
+    """Cached RFC 6356 aggressiveness parameter with set-change awareness.
+
+    RFC 6356 permits recomputing ``a`` only once per window of ACKs, which
+    is how the authors' implementation (and ours) amortises the cost.  The
+    refresh is driven by the ACK path, so the cache must additionally be
+    dropped the moment the *subflow set* changes: a subflow that was just
+    removed sends no more ACKs, and its window would otherwise linger in
+    the max/sum terms of eq. (5) until a refresh that never comes.  The
+    cache therefore tracks the subflow count it was computed over and
+    treats any size change as a forced recompute; controllers also call
+    :meth:`invalidate` from their set-change hook so that even a same-size
+    replacement (one subflow swapped for another) recomputes.
+
+    >>> cache = AlphaCache()
+    >>> cache.get([10.0, 10.0], [0.1, 0.1])   # computes: 1/n for equal paths
+    0.5
+    >>> cache.get([10.0], [0.1])              # set shrank: recomputes
+    1.0
+    """
+
+    def __init__(self) -> None:
+        self._alpha = 1.0
+        self._valid = False
+        self._subflows = 0
+        self._acks = 0
+
+    @property
+    def alpha(self) -> float:
+        """The most recently computed value (1.0 before the first get)."""
+        return self._alpha
+
+    def invalidate(self) -> None:
+        """Force the next :meth:`get` to recompute (loss, set change)."""
+        self._valid = False
+
+    def get(
+        self,
+        windows: Sequence[float],
+        rtts: Sequence[float],
+        per_ack: bool = False,
+    ) -> float:
+        """Alpha for the current subflow set, recomputed when stale.
+
+        Counts one ACK per call; recomputes when invalidated, when a
+        window's worth of ACKs has accumulated, when ``per_ack`` is set,
+        or when ``windows`` has a different length than the set the cached
+        value was computed over.
+        """
+        self._acks += 1
+        if (
+            per_ack
+            or not self._valid
+            or len(windows) != self._subflows
+            or self._acks >= sum(windows)
+        ):
+            self._alpha = rfc6356_alpha(windows, rtts)
+            self._valid = True
+            self._subflows = len(windows)
+            self._acks = 0
+        return self._alpha
 
 
 def rfc6356_increase(

@@ -60,9 +60,22 @@ class CongestionController(ABC):
         if subflow in self.subflows:
             raise ValueError("subflow registered twice")
         self.subflows.append(subflow)
+        self.on_subflow_set_change()
 
     def remove_subflow(self, subflow: WindowedSubflow) -> None:
         self.subflows.remove(subflow)
+        self.on_subflow_set_change()
+
+    def on_subflow_set_change(self) -> None:
+        """Invalidation hook, fired whenever a subflow is added or removed.
+
+        RFC 6356 lets the aggressiveness parameter be cached for a window's
+        worth of ACKs, but that cache is refreshed from the ACK path — and a
+        subflow that just died produces no more ACKs.  Controllers that
+        cache anything derived from the subflow set must drop it here, or a
+        dead subflow's window lingers in the max/sum terms until a refresh
+        that never comes (the path-management bug this hook exists to fix).
+        """
 
     @property
     def num_subflows(self) -> int:

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from .alpha import mptcp_increase, rfc6356_alpha
+from .alpha import AlphaCache, mptcp_increase
 from .base import CongestionController, WindowedSubflow
 
 __all__ = ["MptcpController", "LinkedIncreasesController"]
@@ -88,6 +88,13 @@ class MptcpController(CongestionController):
         self._halve(subflow)
         self._cached.clear()
 
+    def on_subflow_set_change(self) -> None:
+        # Cached per-subflow increases were computed over the old set; a
+        # removed subflow's window must not survive in them (and an added
+        # subflow has no entry, so a fresh compute is due anyway).
+        self._cached.clear()
+        self._acks_since_recompute = 0
+
 
 class LinkedIncreasesController(CongestionController):
     """RFC 6356 "Linked Increases" (LIA): eq. (5) with a cached alpha.
@@ -104,33 +111,27 @@ class LinkedIncreasesController(CongestionController):
         if recompute not in ("per_ack", "per_window"):
             raise ValueError(f"unknown recompute policy {recompute!r}")
         self.recompute = recompute
-        self._alpha: float = 1.0
-        self._acks_since_recompute = 0
-        self._have_alpha = False
+        self._cache = AlphaCache()
 
     @property
     def alpha(self) -> float:
         """Current (possibly cached) aggressiveness parameter."""
-        return self._alpha
-
-    def _refresh_alpha(self) -> None:
-        windows = [s.cwnd for s in self.subflows]
-        rtts = [s.srtt if s.srtt else _DEFAULT_RTT for s in self.subflows]
-        self._alpha = rfc6356_alpha(windows, rtts)
-        self._have_alpha = True
-        self._acks_since_recompute = 0
+        return self._cache.alpha
 
     def on_ack(self, subflow: WindowedSubflow) -> None:
-        self._acks_since_recompute += 1
-        if (
-            not self._have_alpha
-            or self.recompute == "per_ack"
-            or self._acks_since_recompute >= self.total_window
-        ):
-            self._refresh_alpha()
-        total = self.total_window
-        subflow.cwnd += min(self._alpha / total, 1.0 / subflow.cwnd)
+        windows = [s.cwnd for s in self.subflows]
+        rtts = [s.srtt if s.srtt else _DEFAULT_RTT for s in self.subflows]
+        alpha = self._cache.get(
+            windows, rtts, per_ack=(self.recompute == "per_ack")
+        )
+        total = sum(windows)
+        subflow.cwnd += min(alpha / total, 1.0 / subflow.cwnd)
 
     def on_loss(self, subflow: WindowedSubflow) -> None:
         self._halve(subflow)
-        self._have_alpha = False
+        self._cache.invalidate()
+
+    def on_subflow_set_change(self) -> None:
+        # The AlphaCache recomputes on a size change by itself; explicit
+        # invalidation additionally covers a same-size swap of subflows.
+        self._cache.invalidate()

@@ -22,14 +22,17 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from ..check.hooks import CheckContext
+from ..core.registry import make_controller
 from ..harness.experiment import make_flow, measure
 from ..harness.sweep import grid_points
 from ..metrics import jain_index
+from ..pathmgr import ManagedMptcpFlow, WirelessHandover
 from ..topology.scenarios import SWEEP_GRIDS, build_torus, build_two_links
+from ..topology.wireless import LinkSchedule, build_3g_path, build_wifi_path
 from .spec import ScenarioSpec
 
 __all__ = ["SCENARIOS", "scenario", "specs_for_grid", "torus_balance",
-           "rtt_ratio"]
+           "rtt_ratio", "wifi_3g_handover", "subflow_churn"]
 
 #: Registry of named point functions, resolvable in any worker process.
 SCENARIOS: Dict[str, Callable[[ScenarioSpec], dict]] = {}
@@ -119,6 +122,129 @@ def rtt_ratio(spec: ScenarioSpec) -> dict:
         "ratio": result["M"] / best_single,
         "m_pps": result["M"],
         "best_single_pps": best_single,
+    })
+
+
+@scenario("wifi_3g_handover")
+def wifi_3g_handover(spec: ScenarioSpec) -> dict:
+    """§5 mobility point: a WiFi+3G client under a scripted WiFi outage.
+
+    The WiFi path degrades one second before losing coverage entirely
+    (the user walking away from the basestation), stays dark for the
+    middle third of the measurement window, then recovers.  Params:
+    ``algo`` (default lia), ``policy`` (default backup — §5.2's 3G hot
+    standby), ``mode`` (break_before_make | make_before_break),
+    ``degraded_mbps`` (make-before-break pre-warm threshold, default 5).
+
+    Returns per-phase goodput (packets/s before, during and after the
+    outage), handover/lifecycle counters and ``delivery_gap`` — the
+    number of data packets acknowledged at connection level but never
+    delivered in order, which must be 0 (exactly-once across the
+    migration).
+    """
+    p = spec.params
+    algo = p.get("algo", spec.algorithm or "lia")
+    policy = p.get("policy", "backup")
+    mode = p.get("mode", "break_before_make")
+    degraded = float(p.get("degraded_mbps", 5.0))
+    ctx = CheckContext.from_spec(spec)
+    sim = ctx.simulation()
+    wifi = build_wifi_path(sim, name="wifi")
+    g3 = build_3g_path(sim, name="3g")
+    flow = ManagedMptcpFlow(sim, make_controller(algo), policy=policy, name="m")
+    flow.add_path(wifi.route("m.wifi"), name="wifi", wireless=wifi)
+    flow.add_path(
+        g3.route("m.3g"), name="3g", backup=(policy == "backup"), wireless=g3
+    )
+    t_down = spec.warmup + spec.duration / 3.0
+    t_up = spec.warmup + 2.0 * spec.duration / 3.0
+    schedule = LinkSchedule(sim, [
+        (t_down - 1.0, wifi, 2.0),     # fading signal
+        (t_down, wifi, 0.0),           # coverage lost
+        (t_up, wifi, 14.4),            # coverage back
+    ])
+    handover = WirelessHandover(
+        flow.manager, schedule, mode=mode, degraded_mbps=degraded
+    )
+    ctx.arm()
+    schedule.start()
+    flow.start()
+    sim.run_until(spec.warmup)
+    d0 = flow.packets_delivered
+    sim.run_until(t_down)
+    d1 = flow.packets_delivered
+    sim.run_until(t_up)
+    d2 = flow.packets_delivered
+    sim.run_until(spec.warmup + spec.duration)
+    d3 = flow.packets_delivered
+    phase = spec.duration / 3.0
+    reasm = flow.receiver.reassembler
+    return ctx.finish({
+        "pre_pps": (d1 - d0) / phase,
+        "outage_pps": (d2 - d1) / phase,
+        "post_pps": (d3 - d2) / phase,
+        "handovers": handover.handovers,
+        "subflows_opened": flow.manager.subflows_opened,
+        "subflows_closed": flow.manager.subflows_closed,
+        "join_failures": flow.manager.join_failures,
+        "delivery_gap": reasm.data_cum_ack - reasm.delivered,
+    })
+
+
+@scenario("subflow_churn")
+def subflow_churn(spec: ScenarioSpec) -> dict:
+    """Churn point: one path of a two-link client dies and recovers on a
+    fixed period while the connection keeps transferring.
+
+    Params: ``algo`` (default lia), ``policy`` (full_mesh | backup |
+    ndiffports), ``churn_period`` (seconds between liveness flips of the
+    churned path, default 3), ``churn_path`` (default p1).  Under the
+    backup policy p1 is the standby, so churn exercises the
+    prejoin/release cycle; under ndiffports the second path carries no
+    subflows and churn exercises the ignored-advertisement paths.
+
+    Returns goodput over the measurement window, lifecycle counters and
+    the ``delivery_gap`` (must be 0: retirement reinjects stranded data).
+    """
+    p = spec.params
+    algo = p.get("algo", spec.algorithm or "lia")
+    policy = p.get("policy", "full_mesh")
+    period = float(p.get("churn_period", 3.0))
+    churned = p.get("churn_path", "p1")
+    if period <= 0:
+        raise ValueError(f"churn_period must be > 0, got {period!r}")
+    ctx = CheckContext.from_spec(spec)
+    sim = ctx.simulation()
+    sc = build_two_links(
+        sim,
+        rate1_pps=600.0, rate2_pps=600.0,
+        delay1=0.030, delay2=0.030,
+        buffer1_pkts=40, buffer2_pkts=40,
+    )
+    routes = sc.routes("multi")
+    flow = ManagedMptcpFlow(sim, make_controller(algo), policy=policy, name="m")
+    flow.add_path(routes[0], name="p0")
+    flow.add_path(routes[1], name="p1", backup=(policy == "backup"))
+    end = spec.warmup + spec.duration
+    t, flips, down = spec.warmup, 0, True
+    while t < end:
+        if down:
+            flow.manager.schedule_path_down(churned, at=t, cause="churn")
+        else:
+            flow.manager.schedule_path_up(churned, at=t, cause="churn")
+        down = not down
+        flips += 1
+        t += period
+    ctx.arm()
+    flow.start()
+    m = measure(sim, {"m": flow}, warmup=spec.warmup, duration=spec.duration)
+    reasm = flow.receiver.reassembler
+    return ctx.finish({
+        "goodput_pps": m["m"],
+        "churn_flips": flips,
+        "subflows_opened": flow.manager.subflows_opened,
+        "subflows_closed": flow.manager.subflows_closed,
+        "delivery_gap": reasm.data_cum_ack - reasm.delivered,
     })
 
 

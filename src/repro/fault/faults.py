@@ -268,11 +268,15 @@ class ReorderFault(Fault):
 
 
 class SubflowKillFault(Fault):
-    """Stop one sender at ``start`` (path failure); optionally restart it
-    ``revive_after`` seconds later (path recovery).
+    """Take one sender's path down at ``start`` (path failure); optionally
+    bring it back ``revive_after`` seconds later (path recovery).
 
-    Against an MPTCP connection this reproduces §5's handover experiment:
-    traffic must migrate to the surviving subflow(s).
+    The fault signals ``path_down()`` / ``path_up()`` rather than bare
+    ``stop()`` / ``start()``: a plain sender still just freezes, but a
+    multipath subflow forwards the signal to its connection, so an attached
+    :class:`repro.pathmgr.PathManager` sees the failure, retires the
+    subflow (reinjecting stranded data) and fails over — §5's handover
+    experiment, composed from a fault plus a policy.
     """
 
     def __init__(self, sim, spec, target, trace=None):
@@ -288,11 +292,11 @@ class SubflowKillFault(Fault):
 
     def _kill(self) -> None:
         self.fires += 1
-        self.target.stop()
+        self.target.path_down(reason="fault")
         self._fire("kill")
 
     def _revive(self) -> None:
-        self.target.start()
+        self.target.path_up(reason="fault")
         self._fire("revive")
 
 

@@ -59,6 +59,9 @@ class MptcpConnection:
         self.enable_reinjection = enable_reinjection
         self.reinjection_timeout_threshold = reinjection_timeout_threshold
         self._subflow_timeout_marks: dict = {}
+        #: Set by :class:`repro.pathmgr.PathManager` when it attaches; the
+        #: connection never imports pathmgr (the dependency points one way).
+        self.path_manager = None
         sim.register(self)
 
     # ------------------------------------------------------------------
@@ -73,6 +76,64 @@ class MptcpConnection:
         )
         self.subflows.append(subflow)
         return subflow
+
+    def retire_subflow(self, subflow: MptcpSubflow, reason: str = "retired") -> int:
+        """Permanently remove a subflow from the connection at run time.
+
+        The subflow is stopped and marked retired (late ACKs are dropped),
+        any data it still had outstanding is queued for reinjection on the
+        surviving subflows, and the shared controller forgets it — which
+        also recomputes the coupled increase over the remaining set.
+        Returns the number of DSNs queued for reinjection.
+        """
+        if subflow not in self.subflows:
+            return 0
+        subflow.retired = True
+        subflow.stop()
+        stranded = sorted(
+            d
+            for d in subflow._dsn_map.values()
+            if d is not None and d >= self.data_acked
+        )
+        for dsn in stranded:
+            self.scheduler.queue_reinjection(dsn)
+        self.subflows.remove(subflow)
+        self.controller.remove_subflow(subflow)
+        self._subflow_timeout_marks.pop(subflow, None)
+        if not self.completed:
+            self._kick_subflows()
+        return len(stranded)
+
+    # ------------------------------------------------------------------
+    # Path signals (from subflows; see MptcpSubflow.path_down/path_up)
+    # ------------------------------------------------------------------
+    def notice_path_down(self, subflow: MptcpSubflow, reason: str = "") -> None:
+        """A subflow's underlying path failed.  With a path manager
+        attached, the manager owns the reaction (retire + fail over);
+        without one, the event is still made visible on the trace bus so a
+        killed subflow never just silently freezes."""
+        if self.path_manager is not None:
+            self.path_manager.on_subflow_path_down(subflow, reason)
+        elif self.trace.enabled:
+            self.trace.emit(
+                "pathmgr.path_down",
+                self.sim.now,
+                conn=self.name,
+                path=subflow.name,
+                cause=reason or "signal",
+            )
+
+    def notice_path_up(self, subflow: MptcpSubflow, reason: str = "") -> None:
+        """The failed path under ``subflow`` recovered."""
+        if self.path_manager is not None:
+            self.path_manager.on_subflow_path_up(subflow, reason)
+        elif self.trace.enabled:
+            self.trace.emit(
+                "pathmgr.path_up",
+                self.sim.now,
+                conn=self.name,
+                path=subflow.name,
+            )
 
     # ------------------------------------------------------------------
     # Data scheduling (called by subflows)

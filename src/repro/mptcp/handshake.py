@@ -24,11 +24,15 @@ from typing import Dict, Optional
 __all__ = [
     "MpCapableOption",
     "MpJoinOption",
+    "AddAddrOption",
+    "RemoveAddrOption",
     "HandshakeResult",
     "MptcpEndpoint",
     "OptionStrippingMiddlebox",
     "connect",
     "join_subflow",
+    "advertise_address",
+    "withdraw_address",
 ]
 
 
@@ -44,6 +48,21 @@ class MpJoinOption:
     """MP_JOIN: ties an additional subflow to an existing connection."""
 
     token: int
+
+
+@dataclass(frozen=True)
+class AddAddrOption:
+    """ADD_ADDR analogue: advertises an additional local address (path)
+    on an established connection, inviting the peer to join over it."""
+
+    addr_id: int
+
+
+@dataclass(frozen=True)
+class RemoveAddrOption:
+    """REMOVE_ADDR analogue: withdraws a previously advertised address."""
+
+    addr_id: int
 
 
 @dataclass
@@ -118,6 +137,30 @@ class MptcpEndpoint:
         record["subflows"] += 1
         return True
 
+    def on_add_addr(self, token: int, option: Optional[AddAddrOption]) -> bool:
+        """Record a peer-advertised address against the connection the
+        token names.  Returns True when the advertisement was accepted
+        (known connection, option not stripped en route)."""
+        if option is None:
+            return False
+        record = self.connections.get(token)
+        if record is None:
+            return False
+        record.setdefault("addrs", set()).add(option.addr_id)
+        return True
+
+    def on_remove_addr(
+        self, token: int, option: Optional[RemoveAddrOption]
+    ) -> bool:
+        """Forget a previously advertised address (no-op if unknown)."""
+        if option is None:
+            return False
+        record = self.connections.get(token)
+        if record is None:
+            return False
+        record.setdefault("addrs", set()).discard(option.addr_id)
+        return True
+
     def auth_for_join(self, token: int, nonce: int) -> Optional[bytes]:
         """HMAC over the join nonce with the connection keys (the draft's
         protection against blind subflow hijacking)."""
@@ -178,3 +221,40 @@ def join_subflow(
     if record is not None:
         record["subflows"] += 1
     return HandshakeResult(True, connection_token=token, reason="joined")
+
+
+def advertise_address(
+    client: MptcpEndpoint,
+    server: MptcpEndpoint,
+    token: Optional[int],
+    addr_id: int,
+    middlebox: Optional[OptionStrippingMiddlebox] = None,
+) -> bool:
+    """ADD_ADDR analogue: tell the peer about an additional address.
+
+    Returns True when the peer recorded the address.  Like MP_JOIN, the
+    option can be eaten by a middlebox or refused on an unknown token;
+    either way the connection itself is unaffected (the address is simply
+    not usable for joins initiated by the peer)."""
+    if token is None:
+        return False
+    option: Optional[AddAddrOption] = AddAddrOption(addr_id=addr_id)
+    if middlebox is not None:
+        option = middlebox.pass_option(option)
+    return server.on_add_addr(token, option)
+
+
+def withdraw_address(
+    client: MptcpEndpoint,
+    server: MptcpEndpoint,
+    token: Optional[int],
+    addr_id: int,
+    middlebox: Optional[OptionStrippingMiddlebox] = None,
+) -> bool:
+    """REMOVE_ADDR analogue: withdraw a previously advertised address."""
+    if token is None:
+        return False
+    option: Optional[RemoveAddrOption] = RemoveAddrOption(addr_id=addr_id)
+    if middlebox is not None:
+        option = middlebox.pass_option(option)
+    return server.on_remove_addr(token, option)

@@ -29,6 +29,29 @@ class MptcpSubflow(TcpSender):
         super().__init__(sim, controller, source=None, name=name, **kwargs)
         self.connection = connection
 
+    def receive(self, ack: AckPacket) -> None:
+        # A retired subflow no longer belongs to the connection or its
+        # controller; a late ACK still in flight at retirement time must
+        # not feed data ACKs or window updates into state it left behind.
+        if self.retired:
+            return
+        super().receive(ack)
+
+    def path_down(self, reason: str = "") -> None:
+        """Path failure under this subflow: stop, then tell the connection
+        so an attached path manager can retire us and fail over."""
+        self.stop()
+        self.connection.notice_path_down(self, reason)
+
+    def path_up(self, reason: str = "") -> None:
+        """Path recovery.  Unmanaged connections simply restart the
+        subflow (the historical ``subflow_kill`` revive behaviour); under a
+        path manager the retired subflow stays dead and the manager opens a
+        fresh subflow — which starts in slow start, as RFC 6356 requires."""
+        if self.connection.path_manager is None and not self.retired:
+            self.start()
+        self.connection.notice_path_up(self, reason)
+
     def _acquire_payload(self, seq: int) -> Tuple[bool, Optional[int]]:
         """Pull the next data sequence number from the connection.
 

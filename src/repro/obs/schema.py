@@ -223,6 +223,72 @@ EVENT_TYPES: Dict[str, Dict[str, FieldSpec]] = {
                            "packets affected during the ending "
                            "state (up/burst_end/window_end actions)"),
     },
+    # Path-management layer (repro.pathmgr): runtime subflow lifecycle.
+    # "path" is the manager's path name (e.g. 'wifi'); for path_down/
+    # path_up signals on an unmanaged connection it is the subflow name.
+    "pathmgr.add_addr": {
+        "conn": FieldSpec((str,), True, False, "connection name"),
+        "path": FieldSpec((str,), True, False, "advertised path name"),
+        "role": FieldSpec((str,), True, False,
+                          "'primary' | 'backup' (§5.2 hot standby)"),
+    },
+    "pathmgr.remove_addr": {
+        "conn": FieldSpec((str,), True, False, "connection name"),
+        "path": FieldSpec((str,), True, False, "withdrawn path name"),
+    },
+    "pathmgr.subflow_open": {
+        "conn": FieldSpec((str,), True, False, "connection name"),
+        "path": FieldSpec((str,), True, False, "path the subflow runs on"),
+        "subflow": FieldSpec((str,), True, False, "subflow name"),
+        "policy": FieldSpec((str,), True, False,
+                            "path-manager policy that opened it"),
+        "cause": FieldSpec((str,), True, False,
+                           "'advertise' | 'path_up' | 'standby' | "
+                           "'handover' | 'primary_down'"),
+    },
+    "pathmgr.join_failed": {
+        "conn": FieldSpec((str,), True, False, "connection name"),
+        "path": FieldSpec((str,), True, False, "path the join targeted"),
+        "reason": FieldSpec((str,), True, False,
+                            "handshake failure reason (stripped option, "
+                            "unknown token, non-multipath connection)"),
+    },
+    "pathmgr.subflow_close": {
+        "conn": FieldSpec((str,), True, False, "connection name"),
+        "path": FieldSpec((str,), True, False, "path the subflow ran on"),
+        "subflow": FieldSpec((str,), True, False, "subflow name"),
+        "reason": FieldSpec((str,), True, False,
+                            "'path_down' | 'remove_addr' | 'released'"),
+        "reinjected": FieldSpec((int,), True, False,
+                                "stranded DSNs queued for reinjection on "
+                                "the surviving subflows"),
+    },
+    "pathmgr.path_down": {
+        "conn": FieldSpec((str,), True, False, "connection name"),
+        "path": FieldSpec((str,), True, False,
+                          "failed path (subflow name when unmanaged)"),
+        "cause": FieldSpec((str,), True, False,
+                           "'schedule' | 'fault' | 'signal' | 'churn'"),
+    },
+    "pathmgr.path_up": {
+        "conn": FieldSpec((str,), True, False, "connection name"),
+        "path": FieldSpec((str,), True, False,
+                          "recovered path (subflow name when unmanaged)"),
+    },
+    "pathmgr.standby_activate": {
+        "conn": FieldSpec((str,), True, False, "connection name"),
+        "path": FieldSpec((str,), True, False,
+                          "backup path leaving hot standby"),
+        "subflow": FieldSpec((str,), True, False,
+                             "subflow opened on the backup path"),
+    },
+    "pathmgr.handover": {
+        "conn": FieldSpec((str,), True, False, "connection name"),
+        "src": FieldSpec((str,), True, False, "path traffic migrated from"),
+        "dst": FieldSpec((str,), True, False, "path traffic migrated to"),
+        "mode": FieldSpec((str,), True, False,
+                          "'break_before_make' | 'make_before_break'"),
+    },
 }
 
 #: Valid values for the ``reason`` field of ``cc.cwnd_update``.

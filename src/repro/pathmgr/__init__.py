@@ -1,0 +1,48 @@
+"""Dynamic path management: the runtime subflow lifecycle (§5, RFC 6356).
+
+The congestion controller couples the windows of whatever subflows exist;
+this package decides *which* subflows exist, and when.  A
+:class:`PathManager` attaches to an
+:class:`~repro.mptcp.connection.MptcpConnection`, advertises paths to the
+peer (ADD_ADDR/REMOVE_ADDR analogues), opens subflows through the MP_JOIN
+handshake under a pluggable :class:`~.policy.PathPolicy` (``full_mesh``,
+``ndiffports``, ``backup``), and retires them on path death — reinjecting
+stranded data and recomputing the coupled ``alpha`` over the new set.
+:class:`WirelessHandover` connects
+:class:`~repro.topology.wireless.LinkSchedule` capacity changes to those
+transitions for the §5 WiFi→3G mobility experiments.
+
+See ``docs/PATH_MANAGEMENT.md``.
+"""
+
+from ..obs.schema import EVENT_TYPES
+from .handover import HANDOVER_MODES, WirelessHandover
+from .manager import ManagedMptcpFlow, ManagedPath, PathManager
+from .policy import (
+    POLICIES,
+    BackupPolicy,
+    FullMeshPolicy,
+    NDiffPortsPolicy,
+    PathPolicy,
+    make_policy,
+)
+
+#: All pathmgr trace event types (for FilterSink selections).
+PATHMGR_EVENTS = frozenset(
+    ev for ev in EVENT_TYPES if ev.startswith("pathmgr.")
+)
+
+__all__ = [
+    "BackupPolicy",
+    "FullMeshPolicy",
+    "HANDOVER_MODES",
+    "ManagedMptcpFlow",
+    "ManagedPath",
+    "NDiffPortsPolicy",
+    "PATHMGR_EVENTS",
+    "POLICIES",
+    "PathManager",
+    "PathPolicy",
+    "WirelessHandover",
+    "make_policy",
+]

@@ -1,0 +1,177 @@
+"""Path-management policies: which advertised paths get subflows, when.
+
+The path manager separates *mechanism* (opening a subflow through the
+MP_JOIN machinery, retiring it on path death, reinjecting stranded data)
+from *policy* (which paths to use).  The three policies here mirror the
+ones every deployed MPTCP stack ships:
+
+* ``full_mesh`` — one subflow per advertised path; a recovered path gets
+  a fresh subflow.  The default for the paper's datacenter and wireless
+  experiments, where every path should carry traffic.
+* ``ndiffports`` — ``n`` subflows over the *first* path (port diversity
+  over a single address pair, the ECMP trick of §4); additional address
+  advertisements are ignored.
+* ``backup`` — paths flagged ``backup=True`` are kept in hot standby
+  (§5.2: "the 3G subflow is kept established but idle"): the MP_JOIN
+  handshake is completed up front, but no subflow carries data until the
+  last primary path dies.  When a primary recovers, the standby subflows
+  are released and the backup path returns to standby.
+
+Policies receive the manager and the affected :class:`ManagedPath` and
+call back into manager mechanism methods (``open_subflow``, ``prejoin``,
+``activate_standby``, ``close_path_subflows``).  They hold no state of
+their own beyond configuration, so one policy instance could drive many
+managers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type, Union
+
+__all__ = [
+    "PathPolicy",
+    "FullMeshPolicy",
+    "NDiffPortsPolicy",
+    "BackupPolicy",
+    "POLICIES",
+    "make_policy",
+]
+
+
+class PathPolicy:
+    """Base policy: hooks for every path lifecycle transition.
+
+    The default implementation of every hook is a no-op, so subclasses
+    override only the transitions they care about.
+    """
+
+    #: Registry / trace name (overridden by subclasses).
+    name = "base"
+
+    def on_path_added(self, manager, path) -> None:
+        """A path was advertised (ADD_ADDR analogue)."""
+
+    def on_path_removed(self, manager, path) -> None:
+        """A path was withdrawn (REMOVE_ADDR analogue).  The manager has
+        already closed the path's subflows."""
+
+    def on_path_down(self, manager, path) -> None:
+        """A path failed.  The manager has already retired its subflows
+        (reinjecting stranded data); the policy decides what replaces
+        them."""
+
+    def on_path_up(self, manager, path) -> None:
+        """A failed path recovered."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class FullMeshPolicy(PathPolicy):
+    """One subflow on every advertised path, re-opened on recovery."""
+
+    name = "full_mesh"
+
+    def on_path_added(self, manager, path) -> None:
+        manager.open_subflow(path, cause="advertise")
+
+    def on_path_up(self, manager, path) -> None:
+        if not path.subflows:
+            manager.open_subflow(path, cause="path_up")
+
+
+class NDiffPortsPolicy(PathPolicy):
+    """``n`` subflows over the first path; other paths are ignored.
+
+    Models the ndiffports strategy (and the §4 multi-path-through-ECMP
+    experiments): source-port diversity over one address pair spreads a
+    connection over the network's equal-cost paths without any extra
+    addresses.
+    """
+
+    name = "ndiffports"
+
+    def __init__(self, n: int = 2):
+        if n < 1:
+            raise ValueError(f"ndiffports needs n >= 1, got {n!r}")
+        self.n = n
+
+    def _is_first(self, manager, path) -> bool:
+        order = manager.path_order()
+        return bool(order) and order[0] == path.name
+
+    def on_path_added(self, manager, path) -> None:
+        if not self._is_first(manager, path):
+            return
+        for _ in range(self.n):
+            manager.open_subflow(path, cause="advertise")
+
+    def on_path_up(self, manager, path) -> None:
+        if not self._is_first(manager, path):
+            return
+        while len(path.subflows) < self.n:
+            if manager.open_subflow(path, cause="path_up") is None:
+                break
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NDiffPortsPolicy(n={self.n})"
+
+
+class BackupPolicy(PathPolicy):
+    """Primary paths carry data; ``backup=True`` paths are hot standby.
+
+    The §5.2 mobile scenario: the 3G subflow is established (MP_JOIN
+    completed, so activation costs nothing) but idle while WiFi works.
+    When the last primary dies the standby activates — its subflow starts
+    in slow start, per RFC 6356 — and when a primary recovers the backup
+    subflows are released back to standby, reinjecting anything still in
+    flight on them.
+    """
+
+    name = "backup"
+
+    def on_path_added(self, manager, path) -> None:
+        if path.backup:
+            manager.prejoin(path)
+        else:
+            manager.open_subflow(path, cause="advertise")
+
+    def on_path_down(self, manager, path) -> None:
+        if manager.primaries_alive():
+            return
+        manager.activate_standby(cause="primary_down")
+
+    def on_path_up(self, manager, path) -> None:
+        if path.backup:
+            manager.prejoin(path)
+            return
+        if not path.subflows:
+            manager.open_subflow(path, cause="path_up")
+        if not path.subflows:
+            return  # recovery failed (e.g. join refused): keep the standby
+        for other in manager.ordered_paths():
+            if other.backup and other.subflows:
+                manager.close_path_subflows(other, reason="released")
+                manager.prejoin(other)
+
+
+#: Policy name -> class, for string-based construction.
+POLICIES: Dict[str, Type[PathPolicy]] = {
+    "full_mesh": FullMeshPolicy,
+    "ndiffports": NDiffPortsPolicy,
+    "backup": BackupPolicy,
+}
+
+
+def make_policy(policy: Union[str, PathPolicy], **kwargs) -> PathPolicy:
+    """Resolve a policy name (or pass through an instance)."""
+    if isinstance(policy, PathPolicy):
+        if kwargs:
+            raise ValueError("kwargs only apply when building from a name")
+        return policy
+    try:
+        cls = POLICIES[policy]
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise ValueError(f"unknown path policy {policy!r}; known: {known}")
+    return cls(**kwargs)

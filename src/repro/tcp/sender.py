@@ -114,6 +114,9 @@ class TcpSender:
         # Lifecycle.
         self.running = False
         self.completed = False
+        #: Set when a path manager permanently removes this sender from its
+        #: connection: late ACKs are ignored and the sender never restarts.
+        self.retired = False
         self.on_complete: Optional[Callable[["TcpSender"], None]] = None
 
         controller.add_subflow(self)
@@ -166,6 +169,20 @@ class TcpSender:
         """Stop transmitting and cancel the retransmission timer."""
         self.running = False
         self._cancel_timer()
+
+    # ------------------------------------------------------------------
+    # Path signals (fault injection, link schedules)
+    # ------------------------------------------------------------------
+    def path_down(self, reason: str = "") -> None:
+        """The path under this sender failed.  Plain TCP has no connection
+        level to fail over to, so this just stops the sender; multipath
+        subflows override to notify the connection's path manager."""
+        self.stop()
+
+    def path_up(self, reason: str = "") -> None:
+        """The path under this sender recovered; resume transmission."""
+        if not self.retired:
+            self.start()
 
     # ------------------------------------------------------------------
     # Transmission

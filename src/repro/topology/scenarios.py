@@ -83,6 +83,29 @@ SWEEP_GRIDS = {
         "duration": 4.0,
         "title": "Demo: 8-point RTT-compensation grid (seconds, not minutes)",
     },
+    "wifi_3g_handover": {
+        "scenario": "wifi_3g_handover",
+        "parameters": {
+            "algo": ["lia", "mptcp"],
+            "mode": ["break_before_make", "make_before_break"],
+        },
+        "seed": 17,
+        "warmup": 6.0,
+        "duration": 18.0,
+        "title": "§5 mobility: WiFi→3G handover under a scripted outage",
+    },
+    "subflow_churn": {
+        "scenario": "subflow_churn",
+        "parameters": {
+            "algo": ["lia"],
+            "policy": ["full_mesh", "backup", "ndiffports"],
+            "churn_period": [3.0, 6.0],
+        },
+        "seed": 23,
+        "warmup": 4.0,
+        "duration": 16.0,
+        "title": "Subflow churn: one path repeatedly dying and recovering",
+    },
 }
 
 

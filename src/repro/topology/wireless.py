@@ -19,7 +19,7 @@ against the queues.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 from ..net.network import mbps_to_pps
 from ..net.pipe import LossyPipe
@@ -110,7 +110,9 @@ class LinkSchedule:
     """Replays scripted capacity changes against wireless paths (Fig 17).
 
     Each event is ``(time, path, rate_mbps)``; a rate of 0 models a
-    coverage outage (the stairwell with no WiFi).
+    coverage outage (the stairwell with no WiFi).  Observers — e.g. the
+    handover module of :mod:`repro.pathmgr` — can :meth:`subscribe` to be
+    told about each applied change, in schedule order.
     """
 
     def __init__(
@@ -123,6 +125,14 @@ class LinkSchedule:
             events, key=lambda e: e[0]
         )
         self.applied = 0
+        self._subscribers: List[Callable[[float, WirelessPath, float], None]] = []
+
+    def subscribe(
+        self, callback: Callable[[float, WirelessPath, float], None]
+    ) -> None:
+        """Call ``callback(now, path, rate_mbps)`` after each applied
+        change (after the rate has taken effect on the queue)."""
+        self._subscribers.append(callback)
 
     def start(self) -> None:
         for time, path, mbps in self.events:
@@ -132,3 +142,5 @@ class LinkSchedule:
         path, mbps = event
         path.set_rate_mbps(mbps)
         self.applied += 1
+        for callback in list(self._subscribers):
+            callback(self.sim.now, path, mbps)

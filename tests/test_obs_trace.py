@@ -249,7 +249,8 @@ class TestSchemaValidation:
         # checked in TestInstrumentationEvents; the exp.* sweep-runner
         # events are exercised in tests/test_exp_runner.py; the check.*
         # and fault.* layers in tests/test_check_invariants.py and
-        # tests/test_fault_injection.py).
+        # tests/test_fault_injection.py; the pathmgr.* lifecycle events
+        # in tests/test_pathmgr.py).
         assert set(EVENT_TYPES) == {
             "pkt.enqueue", "pkt.drop", "pkt.deliver", "cc.cwnd_update",
             "tcp.timeout", "tcp.fast_retransmit", "mptcp.dsn_ack",
@@ -258,6 +259,11 @@ class TestSchemaValidation:
             "exp.cache_hit",
             "check.attach", "check.violation", "check.stats",
             "fault.armed", "fault.fire",
+            "pathmgr.add_addr", "pathmgr.remove_addr",
+            "pathmgr.subflow_open", "pathmgr.join_failed",
+            "pathmgr.subflow_close", "pathmgr.path_down",
+            "pathmgr.path_up", "pathmgr.standby_activate",
+            "pathmgr.handover",
         }
 
     def test_validate_jsonl_roundtrip_and_errors(self, tmp_path):
