@@ -19,6 +19,10 @@
 #   make handover-demo scripted WiFi→3G handover (§5 mobility) under the
 #                    invariant monitor, pathmgr trace validated against
 #                    the schema — see docs/PATH_MANAGEMENT.md
+#   make docs-check  executable-documentation gate: run every fenced
+#                    python block in docs/*.md and assert the event
+#                    table / controller registry stay in sync with the
+#                    code (tools/docs_check.py)
 
 PYTHON    ?= python
 PP        := PYTHONPATH=src
@@ -28,7 +32,8 @@ SWEEP_CACHE ?= .sweep-demo-cache
 BENCH_OUT ?= BENCH_pr4.json
 
 .PHONY: test obs-test sweep-test check-test pathmgr-test bench bench-gate \
-	bench-smoke bench-baseline trace-demo sweep-demo handover-demo
+	bench-smoke bench-baseline trace-demo sweep-demo handover-demo \
+	docs-check
 
 test:
 	$(PP) $(PYTHON) -m pytest -x -q
@@ -68,6 +73,9 @@ sweep-demo:
 	$(PP) $(PYTHON) -m repro sweep demo_rtt --parallel 2 \
 		--cache-dir $(SWEEP_CACHE) --trace sweep-demo-trace.jsonl
 	$(PP) $(PYTHON) -m repro trace-validate sweep-demo-trace.jsonl
+
+docs-check:
+	$(PP) $(PYTHON) tools/docs_check.py
 
 handover-demo:
 	$(PP) $(PYTHON) -m repro handover --trace $(HANDOVER_OUT)

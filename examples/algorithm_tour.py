@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
-"""A tour of the §2 design space on one scenario.
+"""A tour of the controller design space on one scenario.
 
-Runs every §2 algorithm over the same two unequal, unequally-congested
-paths and draws the resulting split — EWTCP's static weights, COUPLED's
-all-in on the less-congested path, SEMICOUPLED's biased split, and MPTCP's
-RTT-compensated allocation.
+Runs every §2 algorithm — plus the post-paper successors OLIA, BALIA and
+wVegas (docs/CONTROLLERS.md) — over the same two unequal,
+unequally-congested paths and draws the resulting split: EWTCP's static
+weights, COUPLED's all-in on the less-congested path, SEMICOUPLED's
+biased split, MPTCP's RTT-compensated allocation, OLIA's harder shift
+toward the best path, BALIA's middle ground, and wVegas falling back to
+per-path behaviour when congestion shows up as loss rather than delay.
 
 Run:  python examples/algorithm_tour.py
 """
@@ -36,7 +39,8 @@ def main() -> None:
     print("Two fixed-loss paths: path1 = 20 ms RTT / 0.16 % loss,")
     print("                      path2 = 200 ms RTT / 0.04 % loss\n")
     rows_total, rows_p1, rows_p2 = [], [], []
-    for algo in ("uncoupled", "ewtcp", "semicoupled", "coupled", "mptcp"):
+    for algo in ("uncoupled", "ewtcp", "semicoupled", "coupled", "mptcp",
+                 "olia", "balia", "wvegas"):
         total, (p1, p2) = run(algo)
         rows_total.append((algo, total))
         rows_p1.append((algo, p1))
@@ -51,6 +55,9 @@ def main() -> None:
     print("COUPLED piles onto the clean path and loses the fast one;")
     print("EWTCP splits statically; MPTCP keeps most of the fast path")
     print("while probing the clean one — the §2 design story in one chart.")
+    print("OLIA shifts hardest toward the better path, BALIA sits between")
+    print("LIA and OLIA, and wVegas (delay-based) behaves per-path here")
+    print("because these fixed-loss links never build queueing delay.")
 
 
 if __name__ == "__main__":

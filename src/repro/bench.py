@@ -39,6 +39,10 @@ The suite
     One ``wifi_3g_handover`` point plus one ``subflow_churn`` point —
     the dynamic subflow lifecycle (MP_JOIN, retirement/reinjection,
     standby activation) on top of the usual packet hot path (points/s).
+``zoo_scenarios``
+    One ``fig8_torus_zoo`` point per round-2 controller (OLIA, BALIA,
+    wVegas) — the per-ACK cost of the path-set/rate-cache controllers
+    on a real topology (points/s).
 
 ``BENCH_*.json`` schema
 -----------------------
@@ -117,6 +121,8 @@ SCALES = {
         "sweep_duration": 2.0,
         "pathmgr_warmup": 2.0,
         "pathmgr_duration": 6.0,
+        "zoo_warmup": 1.0,
+        "zoo_duration": 3.0,
     },
     "quick": {
         "repeats": 2,
@@ -130,6 +136,8 @@ SCALES = {
         "sweep_duration": 1.0,
         "pathmgr_warmup": 1.0,
         "pathmgr_duration": 3.0,
+        "zoo_warmup": 0.5,
+        "zoo_duration": 1.5,
     },
     "smoke": {
         "repeats": 1,
@@ -143,6 +151,8 @@ SCALES = {
         "sweep_duration": 0.25,
         "pathmgr_warmup": 0.5,
         "pathmgr_duration": 1.5,
+        "zoo_warmup": 0.25,
+        "zoo_duration": 0.75,
     },
 }
 
@@ -264,6 +274,25 @@ def _bench_pathmgr_scenarios(scale: dict) -> Tuple[int, str, dict]:
     }
 
 
+def _bench_zoo_scenarios(scale: dict) -> Tuple[int, str, dict]:
+    from .exp.grids import SCENARIOS
+    from .exp.spec import ScenarioSpec
+
+    rows = {}
+    for algo in ("olia", "balia", "wvegas"):
+        spec = ScenarioSpec(
+            scenario="torus_balance",
+            params={"algo": algo, "capacity_c": 250.0},
+            seed=29,
+            warmup=scale["zoo_warmup"],
+            duration=scale["zoo_duration"],
+        )
+        rows[algo] = SCENARIOS["torus_balance"](spec)
+    return len(rows), "points/s", {
+        "jain": {algo: round(row["jain"], 4) for algo, row in rows.items()},
+    }
+
+
 #: Ordered suite: name -> body.
 BENCH_SUITE: Dict[str, Callable[[dict], Tuple[int, str, dict]]] = {
     "engine_micro": _bench_engine_micro,
@@ -272,6 +301,7 @@ BENCH_SUITE: Dict[str, Callable[[dict], Tuple[int, str, dict]]] = {
     "fig8_torus": _bench_fig8_torus,
     "sweep_scaling": _bench_sweep_scaling,
     "pathmgr_scenarios": _bench_pathmgr_scenarios,
+    "zoo_scenarios": _bench_zoo_scenarios,
 }
 
 

@@ -6,26 +6,32 @@ from .alpha import (
     rfc6356_alpha,
     rfc6356_increase,
 )
+from .balia import BaliaController
 from .base import CongestionController, WindowedSubflow
 from .coupled import CoupledController
 from .cubic import CubicController
 from .ewtcp import EwtcpController
 from .mptcp_lia import LinkedIncreasesController, MptcpController
+from .olia import OliaController
 from .registry import ALGORITHMS, make_controller
 from .semicoupled import SemicoupledController
 from .uncoupled import RenoController, UncoupledController
+from .wvegas import WVegasController
 
 __all__ = [
     "ALGORITHMS",
+    "BaliaController",
     "CongestionController",
     "CoupledController",
     "CubicController",
     "EwtcpController",
     "LinkedIncreasesController",
     "MptcpController",
+    "OliaController",
     "RenoController",
     "SemicoupledController",
     "UncoupledController",
+    "WVegasController",
     "WindowedSubflow",
     "make_controller",
     "mptcp_increase",

@@ -1,0 +1,115 @@
+"""BALIA: Balanced Linked Adaptation (Peng, Walid, Hwang, Low).
+
+The controller derived *from* the fluid-model design space of Peng et al.
+("Multipath TCP: Analysis, Design and Implementation", IEEE/ACM ToN
+2016), rather than reverse-engineered into it: the authors characterise
+the whole (phi, increase, decrease) family, prove which corners trade
+TCP-friendliness against responsiveness/window oscillation, and pick
+BALIA as the balanced point.  It generalises both LIA and OLIA.
+
+Let ``x_r = w_r / RTT_r`` be path r's rate and
+
+    α_r = max_p(x_p) / x_r          (α_r ≥ 1, = 1 on the best path).
+
+ALGORITHM: BALIA
+    * Each ACK on path r, increase w_r by
+
+          x_r / (RTT_r · (Σ_p x_p)²) · (1 + α_r)/2 · (4 + α_r)/5
+
+    * Each loss on path r, decrease w_r by
+
+          w_r / 2 · min(α_r, 1.5)
+
+On a single path α_r = 1 and both rules collapse to Reno's exactly
+(+1/w_r per ACK, −w_r/2 per loss).  The increase never exceeds 1/w_r for
+any α_r ≥ 1 — writing g(α) = (1+α)(4+α)/10, the increase is
+``g(α_r)/α_r² · 1/w_r`` and g(α)/α² ≤ 1 with equality only at α = 1 —
+so BALIA satisfies the paper's §2.5 fairness bound without needing the
+clamp OLIA does, and the repo-wide ``coupled_increase_bound`` invariant
+holds by construction.  The min(α_r, 1.5) factor makes the *decrease*
+harsher on lagging paths (faster re-balancing after a loss burst) but
+caps it so a single loss never costs more than 3/4 of the window.
+
+The rate sum and max-rate are cached per window of ACKs and invalidated
+on loss and from :meth:`on_subflow_set_change` (PR 5's AlphaCache
+pattern), so a departed subflow's rate drops out of α immediately.
+"""
+
+from __future__ import annotations
+
+from .base import CongestionController, WindowedSubflow
+
+__all__ = ["BaliaController"]
+
+#: RTT assumed before the first sample (matches repro.core.mptcp_lia).
+_DEFAULT_RTT = 0.1
+
+
+class BaliaController(CongestionController):
+    """Balanced linked adaptation over the live subflow set."""
+
+    name = "balia"
+
+    def __init__(self, recompute: str = "per_window"):
+        super().__init__()
+        if recompute not in ("per_ack", "per_window"):
+            raise ValueError(f"unknown recompute policy {recompute!r}")
+        self.recompute = recompute
+        self._rate_sum = 0.0
+        self._max_rate = 0.0
+        self._acks_since_recompute = 0
+        self._rates_valid = False
+
+    # ------------------------------------------------------------------
+    def _refresh_rates(self) -> None:
+        rates = [s.cwnd / (s.srtt or _DEFAULT_RTT) for s in self.subflows]
+        self._rate_sum = sum(rates)
+        self._max_rate = max(rates) if rates else 0.0
+        self._rates_valid = True
+        self._acks_since_recompute = 0
+
+    def _rates(self) -> tuple:
+        if (
+            self.recompute == "per_ack"
+            or not self._rates_valid
+            or self._acks_since_recompute >= self.total_window
+        ):
+            self._refresh_rates()
+        return self._rate_sum, self._max_rate
+
+    def _alpha(self, subflow: WindowedSubflow, max_rate: float) -> float:
+        x = subflow.cwnd / (subflow.srtt or _DEFAULT_RTT)
+        # The live path's rate may exceed a slightly stale cached max.
+        return max(max_rate, x) / x
+
+    # ------------------------------------------------------------------
+    def increase_for(self, subflow: WindowedSubflow) -> float:
+        """The per-ACK increase at current state (≤ 1/w_r for α ≥ 1)."""
+        rate_sum, max_rate = self._rates()
+        rtt = subflow.srtt or _DEFAULT_RTT
+        x = subflow.cwnd / rtt
+        rate_sum = max(rate_sum, x)
+        alpha = self._alpha(subflow, max_rate)
+        return (
+            x / (rtt * rate_sum * rate_sum)
+            * ((1.0 + alpha) / 2.0)
+            * ((4.0 + alpha) / 5.0)
+        )
+
+    def on_ack(self, subflow: WindowedSubflow) -> None:
+        self._acks_since_recompute += 1
+        subflow.cwnd += self.increase_for(subflow)
+
+    def on_loss(self, subflow: WindowedSubflow) -> None:
+        _, max_rate = self._rates()
+        alpha = self._alpha(subflow, max_rate)
+        decrease = subflow.cwnd / 2.0 * min(alpha, 1.5)
+        subflow.cwnd = max(subflow.min_cwnd, subflow.cwnd - decrease)
+        self._rates_valid = False
+
+    def on_subflow_set_change(self) -> None:
+        # α compares against the max rate over the *current* subflow set;
+        # recompute before the next ACK so a removed best path stops
+        # inflating every survivor's α.
+        self._rates_valid = False
+        self._acks_since_recompute = 0

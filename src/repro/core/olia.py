@@ -1,0 +1,179 @@
+"""OLIA: Opportunistic Linked Increases (Khalili, Gast, Popovic, Le Boudec).
+
+The first deployed successor to RFC 6356's LIA (draft-khalili-mptcp-
+congestion-control; surveyed in Kimura & Loureiro, "MPTCP Linux Kernel
+Congestion Controls").  LIA trades Pareto-optimality for responsiveness;
+OLIA recovers optimality by steering window growth with two path sets
+recomputed from live measurements:
+
+* ``best_paths``   — paths with the currently best loss/RTT quality,
+  measured by ``l_r² / RTT_r`` where ``l_r`` is the larger of (packets
+  acked since the last loss, packets acked between the two previous
+  losses) — an inter-loss-interval estimate of ``1/p_r``.
+* ``max_w_paths``  — paths with the largest congestion window.
+* ``collected_paths = best_paths − max_w_paths`` — best-quality paths
+  that do not yet carry the biggest window, i.e. paths that *should*
+  grow.
+
+ALGORITHM: OLIA
+    * Each ACK on path r, increase w_r by
+
+          w_r/RTT_r² / (Σ_p w_p/RTT_p)²  +  α_r / w_r
+
+      where α_r = 1/(n·|collected|) on collected paths,
+      α_r = −1/(n·|max_w|) on max-window paths while collected paths
+      exist, and 0 otherwise (n = number of subflows; Σ_r α_r = 0).
+    * Each loss on path r, decrease w_r by w_r/2.
+
+The first (coupling) term alone has the equilibrium w_r ∝ (1−p_r)/p_r —
+traffic concentrates on low-loss paths; the α term re-routes a little
+growth onto best-quality paths whose windows lag, which is what makes the
+equilibrium Pareto-optimal.  When the best path already holds the largest
+window every α_r is zero and the rule is the pure coupling term — the
+"single best path" regime whose set-flipping oscillation is pinned by a
+regression test (see Kimura & Loureiro §OLIA and
+``tests/test_zoo_controllers.py``).
+
+Our per-ACK increase is additionally clamped at 1/w_r, the paper's
+fairness constraint (4) that the repo-wide invariant monitor
+(``coupled_increase_bound``) enforces on every coupled controller.  The
+unclamped rule can exceed 1/w_r only under extreme RTT skew (a
+max-window path with an RTT far above the best path's); the clamp makes
+the §2.5 bound unconditional without touching the equilibria.
+
+Like LIA's :class:`~repro.core.alpha.AlphaCache`, the α assignment is
+cached and refreshed once per window's worth of ACKs, and invalidated
+from :meth:`on_subflow_set_change` so a removed subflow's window never
+lingers in the path sets (PR 5's alpha-recompute fix, applied here from
+birth).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import CongestionController, WindowedSubflow
+
+__all__ = ["OliaController"]
+
+#: RTT assumed before the first sample (matches repro.core.mptcp_lia).
+_DEFAULT_RTT = 0.1
+
+#: Relative tolerance for "is this path's quality/window maximal" —
+#: floating-point ties must land both paths in the set, or the set
+#: membership (and with it the sign of α) flickers on rounding noise.
+_REL_TIE = 1e-9
+
+
+class OliaController(CongestionController):
+    """Opportunistic Linked Increases over the live subflow set."""
+
+    name = "olia"
+
+    def __init__(self, recompute: str = "per_window"):
+        super().__init__()
+        if recompute not in ("per_ack", "per_window"):
+            raise ValueError(f"unknown recompute policy {recompute!r}")
+        self.recompute = recompute
+        #: id(subflow) -> [acked since last loss, acked in previous epoch]
+        self._interloss: Dict[int, list] = {}
+        #: cached α per subflow id, refreshed once per window of ACKs
+        self._alphas: Dict[int, float] = {}
+        self._acks_since_recompute = 0
+        self._alphas_valid = False
+
+    # ------------------------------------------------------------------
+    # Inter-loss interval bookkeeping (the l_r estimate)
+    # ------------------------------------------------------------------
+    def _epochs(self, subflow: WindowedSubflow) -> list:
+        state = self._interloss.get(id(subflow))
+        if state is None:
+            state = [0.0, 0.0]
+            self._interloss[id(subflow)] = state
+        return state
+
+    def _quality(self, subflow: WindowedSubflow) -> float:
+        """l_r²/RTT_r — larger is a better path (longer between losses)."""
+        l1, l2 = self._epochs(subflow)
+        l = max(l1, l2, 1.0)
+        rtt = subflow.srtt or _DEFAULT_RTT
+        return l * l / rtt
+
+    # ------------------------------------------------------------------
+    # The α assignment over (best, max-window) path sets
+    # ------------------------------------------------------------------
+    def _compute_alphas(self) -> Dict[int, float]:
+        n = len(self.subflows)
+        if n <= 1:
+            return {id(s): 0.0 for s in self.subflows}
+        qualities = {id(s): self._quality(s) for s in self.subflows}
+        best_q = max(qualities.values())
+        best = {
+            key for key, q in qualities.items()
+            if q >= best_q * (1.0 - _REL_TIE)
+        }
+        max_w = max(s.cwnd for s in self.subflows)
+        maxw = {
+            id(s) for s in self.subflows
+            if s.cwnd >= max_w * (1.0 - _REL_TIE)
+        }
+        collected = best - maxw
+        alphas = {id(s): 0.0 for s in self.subflows}
+        if collected:
+            boost = 1.0 / (n * len(collected))
+            drain = -1.0 / (n * len(maxw))
+            for key in collected:
+                alphas[key] = boost
+            for key in maxw:
+                alphas[key] = drain
+        return alphas
+
+    def _alpha_for(self, subflow: WindowedSubflow) -> float:
+        if (
+            self.recompute == "per_ack"
+            or not self._alphas_valid
+            or id(subflow) not in self._alphas
+            or self._acks_since_recompute >= self.total_window
+        ):
+            self._alphas = self._compute_alphas()
+            self._alphas_valid = True
+            self._acks_since_recompute = 0
+        return self._alphas[id(subflow)]
+
+    # ------------------------------------------------------------------
+    def increase_for(self, subflow: WindowedSubflow) -> float:
+        """The per-ACK increase at current state (clamped at 1/w_r)."""
+        rate_sum = sum(
+            s.cwnd / (s.srtt or _DEFAULT_RTT) for s in self.subflows
+        )
+        rtt = subflow.srtt or _DEFAULT_RTT
+        coupled = (subflow.cwnd / (rtt * rtt)) / (rate_sum * rate_sum)
+        increase = coupled + self._alpha_for(subflow) / subflow.cwnd
+        return min(increase, 1.0 / subflow.cwnd)
+
+    def on_ack(self, subflow: WindowedSubflow) -> None:
+        self._acks_since_recompute += 1
+        self._epochs(subflow)[0] += 1.0
+        subflow.cwnd = max(
+            subflow.min_cwnd, subflow.cwnd + self.increase_for(subflow)
+        )
+
+    def on_loss(self, subflow: WindowedSubflow) -> None:
+        state = self._epochs(subflow)
+        state[1] = state[0]
+        state[0] = 0.0
+        self._halve(subflow)
+        self._alphas_valid = False
+
+    def on_subflow_set_change(self) -> None:
+        # Path sets were computed over the old subflow set; a retired
+        # subflow must drop out of both the α assignment and the
+        # inter-loss table immediately (its window would otherwise keep
+        # draining growth from surviving max-window paths).
+        live = {id(s) for s in self.subflows}
+        self._interloss = {
+            key: state for key, state in self._interloss.items()
+            if key in live
+        }
+        self._alphas_valid = False
+        self._acks_since_recompute = 0

@@ -9,13 +9,16 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+from .balia import BaliaController
 from .base import CongestionController
 from .coupled import CoupledController
 from .cubic import CubicController
 from .ewtcp import EwtcpController
 from .mptcp_lia import LinkedIncreasesController, MptcpController
+from .olia import OliaController
 from .semicoupled import SemicoupledController
 from .uncoupled import RenoController, UncoupledController
+from .wvegas import WVegasController
 
 __all__ = ["ALGORITHMS", "make_controller"]
 
@@ -29,6 +32,9 @@ ALGORITHMS: Dict[str, Callable[[], CongestionController]] = {
     "semicoupled": SemicoupledController,
     "mptcp": MptcpController,
     "lia": LinkedIncreasesController,
+    "olia": OliaController,
+    "balia": BaliaController,
+    "wvegas": WVegasController,
 }
 
 

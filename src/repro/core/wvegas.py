@@ -1,0 +1,151 @@
+"""wVegas: weighted Vegas — delay-based multipath congestion control.
+
+Cao, Xu & Fu ("Delay-based congestion control for multipath TCP", ICNP
+2012; Linux ``mptcp_wvegas.c``), the one member of the zoo that shifts
+traffic on *queueing delay* rather than on loss.  Each subflow runs TCP
+Vegas with a target queue occupancy α_r, and the targets are weighted by
+the subflow's share of the total rate, so all subflows of a connection
+together hold only ``total_alpha`` packets in bottleneck queues — delay
+equalisation instead of loss-rate equalisation.
+
+Per path r, with ``base_rtt_r`` the minimum RTT observed (propagation
+delay estimate) and ``srtt_r`` the current smoothed RTT, the backlog
+Vegas attributes to this flow is
+
+    diff_r = w_r · (1 − base_rtt_r / srtt_r)        [packets in queue]
+
+ALGORITHM: wVegas
+    * Once per RTT on path r, recompute
+
+          weight_r = x_r / Σ_p x_p     (x_p = w_p / srtt_p)
+          α_r      = max(α_floor, weight_r · total_alpha)
+
+    * Each ACK on path r:  w_r += 1/w_r if diff_r < α_r,
+      w_r −= 1/w_r if diff_r > α_r, unchanged otherwise.
+    * Each loss on path r, decrease w_r by w_r/2 (Reno fallback — loss
+      still means congestion the delay signal missed).
+
+The ±1/w_r drift keeps the per-ACK increase inside the §2.5 fairness
+bound trivially, so the ``coupled_increase_bound`` invariant holds.
+
+``base_rtt`` comes from the per-subflow hook on the sender RTT layer
+(:attr:`repro.tcp.rtt.RttEstimator.base_rtt`): a min-filter over exactly
+the samples Karn's algorithm admits, so retransmission-ambiguous ACKs
+can never drag the propagation-delay estimate down (property-tested in
+``tests/test_zoo_controllers.py``).  Until a path has both an SRTT and a
+base RTT, ACKs fall back to the Reno increase — indistinguishable from
+Vegas' increase phase at diff = 0.
+
+In the repo's fixed-loss validation routes there is no queueing, so
+srtt ≈ base_rtt, diff_r ≈ 0 < α_r, and wVegas runs permanently in its
+increase phase: per-path Reno, i.e. the UNCOUPLED equilibrium.  That is
+the fluid mapping ``repro.fluid.dynamics`` uses (and the differential
+test checks); the delay-coupled behaviour only appears on shared
+bottlenecks, where it is exercised by the zoo sweep grids.
+
+Weights are recomputed from the live subflow set and invalidated from
+:meth:`on_subflow_set_change` (PR 5's AlphaCache pattern), so a closed
+subflow's rate stops diluting the survivors' α targets immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .base import CongestionController, WindowedSubflow
+
+__all__ = ["WVegasController"]
+
+#: RTT assumed before the first sample (matches repro.core.mptcp_lia).
+_DEFAULT_RTT = 0.1
+
+
+class WVegasController(CongestionController):
+    """Weighted Vegas over the live subflow set.
+
+    Parameters
+    ----------
+    total_alpha:
+        Target total backlog (packets) the whole connection may keep in
+        bottleneck queues, split across subflows by rate share.  Linux
+        uses 10.
+    alpha_floor:
+        Minimum per-subflow target so a starved subflow keeps probing.
+        Linux uses 2.
+    """
+
+    name = "wvegas"
+
+    def __init__(self, total_alpha: float = 10.0, alpha_floor: float = 2.0):
+        super().__init__()
+        if total_alpha <= 0 or alpha_floor <= 0:
+            raise ValueError("total_alpha and alpha_floor must be positive")
+        self.total_alpha = total_alpha
+        self.alpha_floor = alpha_floor
+        #: id(subflow) -> [acks this RTT, cached alpha target]
+        self._state: Dict[int, list] = {}
+
+    # ------------------------------------------------------------------
+    def _entry(self, subflow: WindowedSubflow) -> list:
+        entry = self._state.get(id(subflow))
+        if entry is None:
+            entry = [0, self.alpha_floor]
+            self._state[id(subflow)] = entry
+        return entry
+
+    def _refresh_alpha(self, subflow: WindowedSubflow, entry: list) -> None:
+        rate_sum = sum(
+            s.cwnd / (s.srtt or _DEFAULT_RTT) for s in self.subflows
+        )
+        x = subflow.cwnd / (subflow.srtt or _DEFAULT_RTT)
+        weight = x / rate_sum if rate_sum > 0 else 1.0
+        entry[1] = max(self.alpha_floor, weight * self.total_alpha)
+
+    @staticmethod
+    def _base_rtt(subflow: WindowedSubflow) -> Optional[float]:
+        return getattr(subflow, "base_rtt", None)
+
+    # ------------------------------------------------------------------
+    def alpha_for(self, subflow: WindowedSubflow) -> float:
+        """Current per-subflow backlog target (packets)."""
+        return self._entry(subflow)[1]
+
+    def diff_for(self, subflow: WindowedSubflow) -> Optional[float]:
+        """Vegas backlog estimate w·(1 − base/srtt), or None pre-sample."""
+        base = self._base_rtt(subflow)
+        srtt = subflow.srtt
+        if base is None or srtt is None or srtt <= 0:
+            return None
+        return subflow.cwnd * (1.0 - min(base, srtt) / srtt)
+
+    def on_ack(self, subflow: WindowedSubflow) -> None:
+        entry = self._entry(subflow)
+        entry[0] += 1
+        if entry[0] >= subflow.cwnd:
+            # One RTT's worth of ACKs: re-split total_alpha by rate share.
+            self._refresh_alpha(subflow, entry)
+            entry[0] = 0
+        diff = self.diff_for(subflow)
+        step = 1.0 / subflow.cwnd
+        if diff is None or diff < entry[1]:
+            subflow.cwnd += step
+        elif diff > entry[1]:
+            subflow.cwnd = max(subflow.min_cwnd, subflow.cwnd - step)
+
+    def on_loss(self, subflow: WindowedSubflow) -> None:
+        self._halve(subflow)
+        entry = self._entry(subflow)
+        entry[0] = 0
+        self._refresh_alpha(subflow, entry)
+
+    def on_subflow_set_change(self) -> None:
+        # Weights are shares of the total rate over the *current* set; a
+        # departed subflow must stop absorbing its slice of total_alpha.
+        live = {id(s) for s in self.subflows}
+        self._state = {
+            key: entry for key, entry in self._state.items() if key in live
+        }
+        for subflow in self.subflows:
+            entry = self._entry(subflow)
+            self._refresh_alpha(subflow, entry)
+            entry[0] = 0

@@ -15,20 +15,24 @@ from .dynamics import (
 )
 from .network_equilibrium import FluidFlow, FluidNetwork, solve_equilibrium
 from .throughput import (
+    balia_windows,
     coupled_windows,
     coupled_windows_smoothed,
     ewtcp_windows,
     mptcp_equilibrium_windows,
+    olia_windows,
     semicoupled_weights,
     semicoupled_windows,
     tcp_rate,
     tcp_window,
+    wvegas_windows,
 )
 
 __all__ = [
     "FluidFlow",
     "FluidNetwork",
     "FluidTrajectory",
+    "balia_windows",
     "coupled_windows",
     "coupled_windows_smoothed",
     "ewtcp_windows",
@@ -36,6 +40,7 @@ __all__ = [
     "integrate_rates_coupled",
     "integrate_windows",
     "mptcp_equilibrium_windows",
+    "olia_windows",
     "satisfies_goal_3",
     "satisfies_goal_4",
     "semicoupled_weights",
@@ -45,4 +50,5 @@ __all__ = [
     "tcp_reference_windows",
     "tcp_window",
     "window_derivative",
+    "wvegas_windows",
 ]

@@ -8,8 +8,16 @@ Two families of differential equations:
       dw_r/dt = (w_r / RTT_r) · [ (1-p_r)·inc_r(w) − p_r·dec_r(w) ]
 
   with the per-ACK increase/decrease of REGULAR TCP, EWTCP, COUPLED,
-  SEMICOUPLED or MPTCP.  Trajectories converge to the §2 equilibria and
-  inherit the RTT bias of windowed control: the equilibrium *rate*
+  SEMICOUPLED, MPTCP/LIA, OLIA, BALIA or WVEGAS — every registry
+  controller except CUBIC, whose window law sits outside this fluid
+  family.  The newcomers' (increase, decrease) terms follow the unified
+  model of Peng, Walid, Hwang & Low ("Multipath TCP: Analysis, Design
+  and Implementation"); OLIA's path-quality sets use the equilibrium
+  inter-loss estimate l_r ≈ 1/p_r, which is why its term needs the loss
+  vector, and WVEGAS maps to per-path Reno because the fixed-loss
+  validation routes have no queueing delay to react to (see
+  ``repro.core.wvegas``).  Trajectories converge to the §2 equilibria
+  and inherit the RTT bias of windowed control: the equilibrium *rate*
   w/RTT depends on RTT.
 
 * **Rate-based** (:func:`integrate_rates_coupled`) — the Kelly & Voice /
@@ -59,7 +67,38 @@ class FluidTrajectory:
         return f"FluidTrajectory(points={len(self.times)})"
 
 
-def _increase(algorithm: str, windows, rtts, index, a=None):
+#: Relative tolerance for OLIA's fluid path sets (mirrors the packet
+#: controller's tie handling in repro.core.olia).
+_REL_TIE = 1e-9
+
+
+def _olia_alpha(windows, rtts, losses, index):
+    """OLIA's α_r at the fluid level: path quality l_r²/RTT_r with the
+    equilibrium inter-loss estimate l_r ≈ 1/p_r substituted."""
+    n = len(windows)
+    if n <= 1 or losses is None:
+        return 0.0
+    qualities = [1.0 / (p * p * rtt) for p, rtt in zip(losses, rtts)]
+    best_q = max(qualities)
+    best = {r for r, q in enumerate(qualities) if q >= best_q * (1 - _REL_TIE)}
+    max_w = max(windows)
+    maxw = {r for r, w in enumerate(windows) if w >= max_w * (1 - _REL_TIE)}
+    collected = best - maxw
+    if not collected:
+        return 0.0
+    if index in collected:
+        return 1.0 / (n * len(collected))
+    if index in maxw:
+        return -1.0 / (n * len(maxw))
+    return 0.0
+
+
+def _balia_alpha(windows, rtts, index):
+    rates = [w / rtt for w, rtt in zip(windows, rtts)]
+    return max(rates) / rates[index]
+
+
+def _increase(algorithm: str, windows, rtts, index, a=None, losses=None):
     w = windows[index]
     total = sum(windows)
     if algorithm in ("reno", "uncoupled", "single"):
@@ -73,12 +112,36 @@ def _increase(algorithm: str, windows, rtts, index, a=None):
         return (a if a is not None else 1.0) / total
     if algorithm in ("mptcp", "lia"):
         return mptcp_increase(windows, rtts, index)
+    if algorithm == "olia":
+        rate_sum = sum(wi / ri for wi, ri in zip(windows, rtts))
+        rtt = rtts[index]
+        coupled = (w / (rtt * rtt)) / (rate_sum * rate_sum)
+        alpha = _olia_alpha(windows, rtts, losses, index)
+        # The packet controller clamps at 1/w (fairness constraint (4)).
+        return min(coupled + alpha / w, 1.0 / w)
+    if algorithm == "balia":
+        rates = [wi / ri for wi, ri in zip(windows, rtts)]
+        rate_sum = sum(rates)
+        x, rtt = rates[index], rtts[index]
+        alpha = _balia_alpha(windows, rtts, index)
+        return (
+            x / (rtt * rate_sum * rate_sum)
+            * ((1.0 + alpha) / 2.0)
+            * ((4.0 + alpha) / 5.0)
+        )
+    if algorithm == "wvegas":
+        # Fixed-loss routes have srtt ≈ base_rtt, so wVegas sits in its
+        # Vegas increase phase permanently: per-path Reno.
+        return 1.0 / w
     raise ValueError(f"unknown algorithm {algorithm!r}")
 
 
-def _decrease(algorithm: str, windows, index):
+def _decrease(algorithm: str, windows, rtts, index):
     if algorithm == "coupled":
         return sum(windows) / 2.0
+    if algorithm == "balia":
+        alpha = _balia_alpha(windows, rtts, index)
+        return windows[index] / 2.0 * min(alpha, 1.5)
     return windows[index] / 2.0
 
 
@@ -93,8 +156,8 @@ def window_derivative(
     derivs = []
     for r, (w, p, rtt) in enumerate(zip(windows, losses, rtts)):
         ack_rate = w / rtt
-        inc = _increase(algorithm, windows, rtts, r, a=a)
-        dec = _decrease(algorithm, windows, r)
+        inc = _increase(algorithm, windows, rtts, r, a=a, losses=losses)
+        dec = _decrease(algorithm, windows, rtts, r)
         derivs.append(ack_rate * ((1.0 - p) * inc - p * dec))
     return derivs
 

@@ -18,7 +18,10 @@ class RttEstimator:
     ALPHA = 0.125  # gain for SRTT
     BETA = 0.25    # gain for RTTVAR
 
-    __slots__ = ("srtt", "rttvar", "min_rto", "max_rto", "initial_rto", "backoff")
+    __slots__ = (
+        "srtt", "rttvar", "base_rtt", "min_rto", "max_rto", "initial_rto",
+        "backoff",
+    )
 
     def __init__(
         self,
@@ -30,6 +33,12 @@ class RttEstimator:
             raise ValueError("need 0 < min_rto <= max_rto")
         self.srtt: Optional[float] = None
         self.rttvar: float = 0.0
+        #: Minimum RTT ever sampled — the propagation-delay estimate
+        #: delay-based controllers (wVegas) build their backlog signal
+        #: from.  Fed only by :meth:`sample`, which the sender calls only
+        #: for Karn-unambiguous ACKs, so retransmission ambiguity can
+        #: never corrupt the minimum.
+        self.base_rtt: Optional[float] = None
         self.min_rto = min_rto
         self.max_rto = max_rto
         self.initial_rto = initial_rto
@@ -39,6 +48,8 @@ class RttEstimator:
         """Fold one RTT measurement into the estimate."""
         if rtt <= 0:
             raise ValueError(f"RTT sample must be positive, got {rtt!r}")
+        if self.base_rtt is None or rtt < self.base_rtt:
+            self.base_rtt = rtt
         if self.srtt is None:
             self.srtt = rtt
             self.rttvar = rtt / 2.0

@@ -131,6 +131,13 @@ class TcpSender:
         return self.rtt.srtt
 
     @property
+    def base_rtt(self) -> Optional[float]:
+        """Minimum RTT sampled so far — the propagation-delay estimate
+        delay-based controllers (wVegas) read (None before the first
+        Karn-unambiguous sample)."""
+        return self.rtt.base_rtt
+
+    @property
     def in_flight(self) -> int:
         """Sequence-range in flight (not SACK-adjusted)."""
         return self.highest_sent - self.last_acked

@@ -72,6 +72,39 @@ SWEEP_GRIDS = {
         "duration": 70.0,
         "title": "Fig 16: M's throughput / best(S1, S2) on a C2/RTT2 grid",
     },
+    "fig8_torus_zoo": {
+        "scenario": "torus_balance",
+        "parameters": {
+            "algo": [
+                "uncoupled", "ewtcp", "coupled", "semicoupled", "lia",
+                "cubic", "olia", "balia", "wvegas",
+            ],
+            "capacity_c": [1000.0, 250.0],
+            "check": [1],
+        },
+        "seed": 29,
+        "warmup": 10.0,
+        "duration": 25.0,
+        "title": "Fig 8 zoo: torus loss-rate balance across all nine "
+                 "controllers (invariant-checked)",
+    },
+    "fig16_rtt_zoo": {
+        "scenario": "rtt_ratio",
+        "parameters": {
+            "algo": [
+                "uncoupled", "ewtcp", "coupled", "semicoupled", "lia",
+                "cubic", "olia", "balia", "wvegas",
+            ],
+            "c2": [400.0, 1600.0],
+            "rtt2": [0.050, 0.200],
+            "check": [1],
+        },
+        "seed": 151,
+        "warmup": 15.0,
+        "duration": 40.0,
+        "title": "Fig 16 zoo: RTT compensation across all nine controllers "
+                 "(invariant-checked)",
+    },
     "demo_rtt": {
         "scenario": "rtt_ratio",
         "parameters": {

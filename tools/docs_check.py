@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Executable-documentation gate (``make docs-check``).
+
+Two checks keep ``docs/*.md`` from silently rotting:
+
+1. **Snippet execution** — every fenced ```python block in each doc is
+   executed, top to bottom, in one cumulative namespace per file (a doc
+   reads as a session: later blocks may use names earlier blocks
+   defined).  Execution happens inside a temporary working directory so
+   snippets that write artifacts (``trace.jsonl``, ``series.csv``,
+   sweep caches) never pollute the repository.
+
+   A block that genuinely cannot run standalone (e.g. it parses the
+   output file of a ``make`` target) opts out with a marker on the line
+   before the fence::
+
+       <!-- docs-check: skip -->
+       ```python
+       ...
+       ```
+
+2. **Schema/doc sync** — every event name in
+   :data:`repro.obs.schema.EVENT_TYPES` must appear in
+   docs/OBSERVABILITY.md's tables, and every registry algorithm in
+   :data:`repro.core.registry.ALGORITHMS` must appear in both
+   docs/CONTROLLERS.md and the README controller table.  Adding an
+   event or a controller without documenting it fails CI.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/docs_check.py          # or: make docs-check
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+import tempfile
+import traceback
+from typing import Iterator, List, Tuple
+
+SKIP_MARKER = "<!-- docs-check: skip -->"
+
+
+def python_blocks(path: pathlib.Path) -> Iterator[Tuple[int, str, bool]]:
+    """Yield (first_code_line, code, skipped) for each ```python fence."""
+    lines = path.read_text(encoding="utf-8").splitlines()
+    pending_skip = False
+    i = 0
+    while i < len(lines):
+        stripped = lines[i].strip()
+        if stripped == SKIP_MARKER:
+            pending_skip = True
+        elif stripped.startswith("```"):
+            info = stripped.lstrip("`").strip().lower()
+            start = i + 1
+            j = start
+            while j < len(lines) and lines[j].strip() != "```":
+                j += 1
+            if info == "python":
+                yield start + 1, "\n".join(lines[start:j]), pending_skip
+            pending_skip = False
+            i = j
+        elif stripped:
+            # Only non-blank content between marker and fence cancels it.
+            pending_skip = False
+        i += 1
+
+
+def run_file_snippets(path: pathlib.Path, workdir: str) -> List[str]:
+    """Execute a doc's python blocks cumulatively; return error strings."""
+    errors: List[str] = []
+    namespace: dict = {"__name__": f"docs_check[{path.name}]"}
+    ran = skipped = 0
+    for lineno, code, skip in python_blocks(path):
+        location = f"{path}:{lineno}"
+        if skip:
+            skipped += 1
+            continue
+        try:
+            compiled = compile(code, location, "exec")
+            exec(compiled, namespace)  # noqa: S102 - the point of the gate
+            ran += 1
+        except Exception:
+            tail = traceback.format_exc().strip().splitlines()[-1]
+            errors.append(f"{location}: snippet failed: {tail}")
+    print(f"  {path.name}: {ran} snippet(s) ran, {skipped} skipped"
+          + (f", {len(errors)} FAILED" if errors else ""))
+    return errors
+
+
+def check_event_table(repo: pathlib.Path) -> List[str]:
+    """Every EVENT_TYPES name must appear in docs/OBSERVABILITY.md."""
+    from repro.obs.schema import EVENT_TYPES
+
+    text = (repo / "docs" / "OBSERVABILITY.md").read_text(encoding="utf-8")
+    missing = sorted(ev for ev in EVENT_TYPES if ev not in text)
+    return [
+        f"docs/OBSERVABILITY.md: event {ev!r} (repro.obs.schema.EVENT_TYPES)"
+        f" is not documented" for ev in missing
+    ]
+
+
+def check_controller_docs(repo: pathlib.Path) -> List[str]:
+    """Every registry algorithm must appear in CONTROLLERS.md + README."""
+    from repro.core.registry import ALGORITHMS
+
+    errors: List[str] = []
+    for rel in ("docs/CONTROLLERS.md", "README.md"):
+        doc = repo / rel
+        if not doc.exists():
+            errors.append(f"{rel}: missing (controller compendium required)")
+            continue
+        text = doc.read_text(encoding="utf-8")
+        for algo in sorted(ALGORITHMS):
+            if f"`{algo}`" not in text:
+                errors.append(f"{rel}: registry algorithm `{algo}` "
+                              f"is not documented")
+    return errors
+
+
+def main() -> int:
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    docs = sorted((repo / "docs").glob("*.md"))
+    if not docs:
+        print("docs-check: no docs/*.md found", file=sys.stderr)
+        return 2
+
+    errors: List[str] = []
+    print(f"docs-check: executing python snippets in {len(docs)} file(s)")
+    original_cwd = os.getcwd()
+    for doc in docs:
+        # Fresh scratch directory per doc: snippets may write files.
+        with tempfile.TemporaryDirectory(prefix="docs-check-") as scratch:
+            os.chdir(scratch)
+            try:
+                errors.extend(run_file_snippets(doc, scratch))
+            finally:
+                os.chdir(original_cwd)
+
+    print("docs-check: verifying schema/doc sync")
+    errors.extend(check_event_table(repo))
+    errors.extend(check_controller_docs(repo))
+
+    if errors:
+        print(f"\ndocs-check FAILED ({len(errors)} error(s)):",
+              file=sys.stderr)
+        for err in errors:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    print("docs-check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
