@@ -16,6 +16,7 @@
 #   make sweep-demo  8-point grid over 2 workers, rerun warm from the
 #                    result cache, progress trace validated
 #   make pathmgr-test  path-management tests only (pytest -m pathmgr)
+#   make hybrid-test hybrid flow-class tier tests only (pytest -m hybrid)
 #   make handover-demo scripted WiFi→3G handover (§5 mobility) under the
 #                    invariant monitor, pathmgr trace validated against
 #                    the schema — see docs/PATH_MANAGEMENT.md
@@ -31,9 +32,9 @@ HANDOVER_OUT ?= handover-trace.jsonl
 SWEEP_CACHE ?= .sweep-demo-cache
 BENCH_OUT ?= BENCH_pr4.json
 
-.PHONY: test obs-test sweep-test check-test pathmgr-test bench bench-gate \
-	bench-smoke bench-baseline trace-demo sweep-demo handover-demo \
-	docs-check
+.PHONY: test obs-test sweep-test check-test pathmgr-test hybrid-test \
+	bench bench-gate bench-smoke bench-baseline trace-demo sweep-demo \
+	handover-demo docs-check
 
 test:
 	$(PP) $(PYTHON) -m pytest -x -q
@@ -49,6 +50,9 @@ check-test:
 
 pathmgr-test:
 	$(PP) $(PYTHON) -m pytest -m pathmgr -q
+
+hybrid-test:
+	$(PP) $(PYTHON) -m pytest -m hybrid -q
 
 bench:
 	$(PP) $(PYTHON) -m pytest benchmarks/ --benchmark-only

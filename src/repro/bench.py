@@ -43,6 +43,15 @@ The suite
     One ``fig8_torus_zoo`` point per round-2 controller (OLIA, BALIA,
     wVegas) — the per-ACK cost of the path-set/rate-cache controllers
     on a real topology (points/s).
+``hybrid_scale``
+    The flow-class tier at scale: a torus carrying tens of thousands of
+    aggregate flows as fluid classes plus packet tracers, with a
+    :class:`~repro.obs.series.SeriesRecorder` sampling every fluid step
+    (rate unit: flows/s — aggregate flows simulated per wall-second).
+    This benchmark also carries a **peak-heap ceiling**
+    (:data:`HEAP_CEILINGS`): the gate fails if the tracemalloc peak
+    exceeds it, pinning down the columnar recorder layout and the O(1)
+    per-flow memory claim of the hybrid tier.
 
 ``BENCH_*.json`` schema
 -----------------------
@@ -92,6 +101,7 @@ __all__ = [
     "DEFAULT_BASELINE_PATH",
     "DEFAULT_OUT_PATH",
     "GATE_TOLERANCE",
+    "HEAP_CEILINGS",
     "run_suite",
     "gate",
     "load_baseline",
@@ -100,6 +110,18 @@ __all__ = [
 
 #: Relative regression the gate tolerates before failing (10%).
 GATE_TOLERANCE = 0.10
+
+#: Absolute peak-heap ceilings (tracemalloc bytes) enforced by the gate
+#: regardless of the rate baseline.  Ceilings are only meaningful for the
+#: "full" scale (the instrumented pass at smaller scales allocates less,
+#: so they hold a fortiori).  hybrid_scale's ceiling bounds ~30k fluid
+#: flows + tracers + a per-step SeriesRecorder: measured ~0.4 MiB (the
+#: fluid tier's state is per-class, not per-flow), capped with ~20x
+#: headroom for interpreter variance — still far below what per-flow
+#: state (let alone per-flow packets) for 30k flows would allocate.
+HEAP_CEILINGS: Dict[str, int] = {
+    "hybrid_scale": 8 * 1024 * 1024,
+}
 
 #: Where ``repro bench`` records the trajectory file by default.
 DEFAULT_OUT_PATH = "BENCH_pr4.json"
@@ -123,6 +145,10 @@ SCALES = {
         "pathmgr_duration": 6.0,
         "zoo_warmup": 1.0,
         "zoo_duration": 3.0,
+        "hybrid_classes": 60,
+        "hybrid_flows_per_class": 500,
+        "hybrid_tracers": 4,
+        "hybrid_duration": 8.0,
     },
     "quick": {
         "repeats": 2,
@@ -138,6 +164,10 @@ SCALES = {
         "pathmgr_duration": 3.0,
         "zoo_warmup": 0.5,
         "zoo_duration": 1.5,
+        "hybrid_classes": 20,
+        "hybrid_flows_per_class": 200,
+        "hybrid_tracers": 2,
+        "hybrid_duration": 4.0,
     },
     "smoke": {
         "repeats": 1,
@@ -153,6 +183,10 @@ SCALES = {
         "pathmgr_duration": 1.5,
         "zoo_warmup": 0.25,
         "zoo_duration": 0.75,
+        "hybrid_classes": 5,
+        "hybrid_flows_per_class": 20,
+        "hybrid_tracers": 1,
+        "hybrid_duration": 1.0,
     },
 }
 
@@ -293,6 +327,61 @@ def _bench_zoo_scenarios(scale: dict) -> Tuple[int, str, dict]:
     }
 
 
+def _bench_hybrid_scale(scale: dict) -> Tuple[int, str, dict]:
+    from .harness.experiment import make_flow
+    from .hybrid import HybridSimulation
+    from .obs.series import SeriesRecorder
+    from .topology import build_torus
+
+    classes = scale["hybrid_classes"]
+    per_class = scale["hybrid_flows_per_class"]
+    tracers = scale["hybrid_tracers"]
+    dt = 0.02
+    per_flow_pps = 20.0
+
+    sim = HybridSimulation(seed=61, dt=dt)
+    # Round-robin class placement on the 5-link torus, links sized to the
+    # load they carry (the torus_hybrid scenario's sizing rule).
+    at_pos = [0] * 5
+    for c in range(classes):
+        at_pos[c % 5] += per_class
+    for k in range(tracers):
+        at_pos[k % 5] += 1
+    rates = [
+        per_flow_pps * (at_pos[i] + at_pos[(i - 1) % 5]) for i in range(5)
+    ]
+    sc = build_torus(sim, rates, delay=0.05)
+    for c in range(classes):
+        sim.add_class(
+            sc.routes(f"f{c % 5}"), "lia", count=per_class, name=f"c{c}",
+            rtt_scale=0.88 + 0.24 * ((c * 7919) % 97) / 96.0,
+        )
+    flows = []
+    for k in range(tracers):
+        f = make_flow(sim, sc.routes(f"f{k % 5}"), "lia", name=f"tr{k}",
+                      max_cwnd=64.0)
+        f.start(at=0.05 * (k + 1))
+        flows.append(f)
+    # Sample every fluid step: the recorder's columnar layout is part of
+    # what the instrumented heap pass (and its ceiling) measures.
+    rec = SeriesRecorder(sim, interval=dt)
+    rec.add_probe("fluid_pps", lambda: sum(
+        fc.throughput_pps() for fc in sim.classes))
+    for link in sim.hybrid_links:
+        rec.add_probe(f"backlog.{link.name}",
+                      lambda l=link: l.backlog)
+    rec.start()
+    sim.run_until(scale["hybrid_duration"])
+    aggregate = sim.aggregate_flows + tracers
+    return aggregate, "flows/s", {
+        "aggregate_flows": aggregate,
+        "classes": classes,
+        "fluid_pps": round(rec.mean("fluid_pps"), 1),
+        "tracer_delivered": sum(f.packets_delivered for f in flows),
+        "series_rows": len(rec.rows),
+    }
+
+
 #: Ordered suite: name -> body.
 BENCH_SUITE: Dict[str, Callable[[dict], Tuple[int, str, dict]]] = {
     "engine_micro": _bench_engine_micro,
@@ -302,6 +391,7 @@ BENCH_SUITE: Dict[str, Callable[[dict], Tuple[int, str, dict]]] = {
     "sweep_scaling": _bench_sweep_scaling,
     "pathmgr_scenarios": _bench_pathmgr_scenarios,
     "zoo_scenarios": _bench_zoo_scenarios,
+    "hybrid_scale": _bench_hybrid_scale,
 }
 
 
@@ -386,18 +476,27 @@ def gate(
 
     A benchmark fails when its rate drops more than ``tolerance`` below
     the recorded baseline rate.  Benchmarks absent from either side are
-    skipped (the suite may grow over time).
+    skipped (the suite may grow over time).  Independently of the rate
+    baseline, any benchmark listed in :data:`HEAP_CEILINGS` fails when
+    its instrumented peak heap exceeds the ceiling.
     """
     failures = []
     for name, result in results.items():
         base = baseline.get(name)
         rate = result.get("rate")
-        if base is None or rate is None or base <= 0:
-            continue
-        if rate < (1.0 - tolerance) * base:
+        if base is not None and rate is not None and base > 0:
+            if rate < (1.0 - tolerance) * base:
+                failures.append(
+                    f"{name}: {rate:,.0f} {result['rate_unit']} is "
+                    f"{100 * (1 - rate / base):.1f}% below baseline "
+                    f"{base:,.0f}"
+                )
+        ceiling = HEAP_CEILINGS.get(name)
+        peak = result.get("peak_heap_bytes")
+        if ceiling is not None and peak is not None and peak > ceiling:
             failures.append(
-                f"{name}: {rate:,.0f} {result['rate_unit']} is "
-                f"{100 * (1 - rate / base):.1f}% below baseline {base:,.0f}"
+                f"{name}: peak heap {peak / 2**20:.1f} MiB exceeds the "
+                f"{ceiling / 2**20:.0f} MiB ceiling"
             )
     return not failures, failures
 

@@ -87,13 +87,19 @@ class CheckContext:
             check=bool(spec.params.get("check")),
         )
 
-    def simulation(self) -> Simulation:
-        """Build the run's Simulation — monitored only when active."""
+    def simulation(self, cls: type = Simulation, **sim_kwargs) -> Simulation:
+        """Build the run's Simulation — monitored only when active.
+
+        ``cls`` lets a point function substitute a Simulation subclass
+        with the same ``(seed, trace)`` constructor shape — e.g.
+        :class:`~repro.hybrid.HybridSimulation` with its ``dt`` passed
+        through ``sim_kwargs`` — without losing the monitor wiring.
+        """
         if not self.active:
-            self.sim = Simulation(seed=self.seed)
+            self.sim = cls(seed=self.seed, **sim_kwargs)
             return self.sim
         bus = _BUS_OVERRIDE[0] if _BUS_OVERRIDE[0] is not None else TraceBus()
-        self.sim = Simulation(seed=self.seed, trace=bus)
+        self.sim = cls(seed=self.seed, trace=bus, **sim_kwargs)
         self.monitor = InvariantMonitor()
         self.monitor.attach(self.sim)
         return self.sim

@@ -25,6 +25,7 @@ from ..check.hooks import CheckContext
 from ..core.registry import make_controller
 from ..harness.experiment import make_flow, measure
 from ..harness.sweep import grid_points
+from ..hybrid import HybridSimulation
 from ..metrics import jain_index
 from ..pathmgr import ManagedMptcpFlow, WirelessHandover
 from ..topology.scenarios import SWEEP_GRIDS, build_torus, build_two_links
@@ -32,7 +33,7 @@ from ..topology.wireless import LinkSchedule, build_3g_path, build_wifi_path
 from .spec import ScenarioSpec
 
 __all__ = ["SCENARIOS", "scenario", "specs_for_grid", "torus_balance",
-           "rtt_ratio", "wifi_3g_handover", "subflow_churn"]
+           "rtt_ratio", "wifi_3g_handover", "subflow_churn", "torus_hybrid"]
 
 #: Registry of named point functions, resolvable in any worker process.
 SCENARIOS: Dict[str, Callable[[ScenarioSpec], dict]] = {}
@@ -245,6 +246,84 @@ def subflow_churn(spec: ScenarioSpec) -> dict:
         "subflows_opened": flow.manager.subflows_opened,
         "subflows_closed": flow.manager.subflows_closed,
         "delivery_gap": reasm.data_cum_ack - reasm.delivered,
+    })
+
+
+@scenario("torus_hybrid")
+def torus_hybrid(spec: ScenarioSpec) -> dict:
+    """Fig 8 torus at flow-class scale: the hybrid tier carries the bulk.
+
+    ``classes`` flow classes of ``flows_per_class`` aggregate flows each
+    are distributed round-robin over the five torus flow positions
+    (class ``c`` takes position ``c mod 5``, i.e. the paths of packet
+    flow ``f{c mod 5}``), plus ``tracers`` packet-level flows riding the
+    same queues under the aggregate load.  Link capacities scale with
+    the flows they carry (``per_flow_pps`` each); link C's capacity is
+    additionally squeezed by ``capacity_c_factor`` as in Fig 8.  Each
+    class gets a small deterministic base-RTT scale so classes are not
+    trivially identical.
+
+    Params: ``algo`` (default lia), ``classes``, ``flows_per_class``,
+    ``tracers``, ``per_flow_pps`` (default 20), ``capacity_c_factor``
+    (default 1.0), ``dt`` (default 0.02), plus the reserved
+    ``check``/``faults``.  Returns the aggregate flow count, fluid and
+    tracer goodput, and Jain's index over per-class rates.
+    """
+    p = spec.params
+    algo = p.get("algo", spec.algorithm or "lia")
+    classes = int(p.get("classes", 5))
+    flows_per_class = int(p.get("flows_per_class", 1))
+    tracers = int(p.get("tracers", 0))
+    per_flow_pps = float(p.get("per_flow_pps", 20.0))
+    c_factor = float(p.get("capacity_c_factor", 1.0))
+    dt = float(p.get("dt", 0.02))
+    if classes < 1:
+        raise ValueError(f"classes must be >= 1, got {classes!r}")
+
+    # Flows homed at each of the five torus positions (classes are laid
+    # out round-robin; tracers likewise).  Link i carries the flows of
+    # positions i and (i-1) mod 5.
+    at_pos = [0] * 5
+    for c in range(classes):
+        at_pos[c % 5] += flows_per_class
+    for k in range(tracers):
+        at_pos[k % 5] += 1
+    rates = [per_flow_pps * (at_pos[i] + at_pos[(i - 1) % 5])
+             for i in range(5)]
+    rates[2] *= c_factor
+
+    ctx = CheckContext.from_spec(spec)
+    sim = ctx.simulation(cls=HybridSimulation, dt=dt)
+    sc = build_torus(sim, rates, delay=0.05)
+    class_flows, tracer_flows = {}, {}
+    for c in range(classes):
+        # Deterministic per-class RTT diversity (±12%), a pure function
+        # of the class index so reruns are bit-identical.
+        rtt_scale = 0.88 + 0.24 * ((c * 7919) % 97) / 96.0
+        fc = sim.add_class(
+            sc.routes(f"f{c % 5}"), algo, count=flows_per_class,
+            name=f"c{c}", rtt_scale=rtt_scale,
+        )
+        class_flows[f"c{c}"] = fc
+    for k in range(tracers):
+        f = make_flow(
+            sim, sc.routes(f"f{k % 5}"), algo, name=f"tr{k}", max_cwnd=64.0
+        )
+        f.start(at=0.05 * (k + 1))
+        tracer_flows[f"tr{k}"] = f
+    ctx.arm()
+    m = measure(
+        sim, {**class_flows, **tracer_flows},
+        warmup=spec.warmup, duration=spec.duration,
+    )
+    fluid_pps = sum(m[name] for name in class_flows)
+    tracer_pps = sum(m[name] for name in tracer_flows)
+    return ctx.finish({
+        "aggregate_flows": sim.aggregate_flows + tracers,
+        "fluid_pps": fluid_pps,
+        "tracer_pps": tracer_pps,
+        "total_pps": fluid_pps + tracer_pps,
+        "jain": jain_index([m[name] for name in class_flows]),
     })
 
 

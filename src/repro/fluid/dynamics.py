@@ -30,12 +30,21 @@ Two families of differential equations:
   whose equilibrium total a/(β·p_min) contains no RTT at all — making
   §2.3's contrast between the two control families executable.
 
-Integration is plain RK4 with a positivity floor; these systems are
-low-dimensional and smooth away from the floor.
+Integration is RK4 with a positivity floor; these systems are
+low-dimensional and smooth away from the floor, but they are *stiff* at
+extreme RTT ratios: the fastest path's relaxation time scales with its
+RTT, so a step sized for the slow path can overshoot the fast path into
+negative or astronomically large intermediate windows, and the RK4
+stages then amplify that into NaN/overflow.  Every step therefore runs
+through :func:`step_windows`'s guard — a blown-up step is retried as two
+half-steps (recursively, bounded), and when halving cannot restore
+stability the integrator raises :class:`FluidInstabilityError` instead
+of silently returning non-finite windows.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Callable, List, Sequence, Tuple
 
 from ..core.alpha import mptcp_increase
@@ -44,8 +53,54 @@ __all__ = [
     "window_derivative",
     "integrate_windows",
     "integrate_rates_coupled",
+    "step_windows",
+    "FluidInstabilityError",
+    "FLUID_ALGORITHMS",
     "FluidTrajectory",
 ]
+
+
+class FluidInstabilityError(ArithmeticError):
+    """The fluid ODE integration lost numerical stability.
+
+    Raised by the guarded stepper when a step produces non-finite (or
+    physically absurd) state and the step-halving retry bottoms out.
+    The remedy is a smaller ``dt`` (or saner parameters); the point of
+    the exception is that blow-ups surface as errors, never as silent
+    NaN/overflow windows propagating into downstream results.
+    """
+
+    def __init__(self, message: str, dt: float, state: Sequence[float]):
+        super().__init__(message)
+        self.dt = dt
+        self.state = list(state)
+
+
+#: Windows above this are treated as a numerical blow-up, not a state:
+#: no modelled flow holds a billion packets in flight.
+_WINDOW_CEILING = 1e9
+
+#: Recursive step-halvings tolerated before declaring instability
+#: (2^20 reduction covers any physically meaningful stiffness gap).
+_MAX_HALVINGS = 20
+
+#: Algorithms the window-based fluid family covers — every registry
+#: controller except CUBIC (whose window law is outside this analysis).
+#: Validated up front so the stepper's blow-up handling (which treats a
+#: stage-level ValueError as an overshot-negative-window symptom) can
+#: never mask a typo'd algorithm name.
+FLUID_ALGORITHMS = frozenset([
+    "reno", "uncoupled", "single", "ewtcp", "coupled", "semicoupled",
+    "mptcp", "lia", "olia", "balia", "wvegas",
+])
+
+
+def _check_algorithm(algorithm: str) -> None:
+    if algorithm not in FLUID_ALGORITHMS:
+        raise ValueError(
+            f"unknown fluid algorithm {algorithm!r}; known: "
+            f"{', '.join(sorted(FLUID_ALGORITHMS))}"
+        )
 
 
 class FluidTrajectory:
@@ -78,9 +133,20 @@ def _olia_alpha(windows, rtts, losses, index):
     n = len(windows)
     if n <= 1 or losses is None:
         return 0.0
-    qualities = [1.0 / (p * p * rtt) for p, rtt in zip(losses, rtts)]
+    # A loss-free path has an unbounded inter-loss interval: its quality
+    # is +inf, making it (jointly) best.  The hybrid tier hits p=0 on any
+    # uncongested link, so this must not divide by zero.
+    qualities = [
+        math.inf if p <= 0.0 else 1.0 / (p * p * rtt)
+        for p, rtt in zip(losses, rtts)
+    ]
     best_q = max(qualities)
-    best = {r for r, q in enumerate(qualities) if q >= best_q * (1 - _REL_TIE)}
+    if math.isinf(best_q):
+        best = {r for r, q in enumerate(qualities) if math.isinf(q)}
+    else:
+        best = {
+            r for r, q in enumerate(qualities) if q >= best_q * (1 - _REL_TIE)
+        }
     max_w = max(windows)
     maxw = {r for r, w in enumerate(windows) if w >= max_w * (1 - _REL_TIE)}
     collected = best - maxw
@@ -178,6 +244,69 @@ def _rk4(deriv: Callable[[List[float]], List[float]],
     return [max(floor, v) for v in nxt]
 
 
+def _guarded_step(
+    deriv: Callable[[List[float]], List[float]],
+    state: List[float],
+    dt: float,
+    floor: float,
+    halvings: int,
+) -> List[float]:
+    """One RK4 step with blow-up detection and step-halving retry.
+
+    A step is rejected when an RK4 stage divides by a zero window,
+    overflows, trips a domain check (e.g. LIA's positivity validation
+    after a stage overshoots a window negative — callers validate the
+    algorithm name up front so a ValueError here can only be that), or
+    lands outside ``[floor, _WINDOW_CEILING]`` after the final clamp;
+    rejection retries the interval as two half-steps.
+    """
+    try:
+        nxt = _rk4(deriv, state, dt, floor)
+    except (ZeroDivisionError, OverflowError, ValueError):
+        nxt = None
+    if nxt is not None and all(
+        math.isfinite(v) and v <= _WINDOW_CEILING for v in nxt
+    ):
+        return nxt
+    if halvings <= 0:
+        raise FluidInstabilityError(
+            f"fluid integration unstable: step of {dt:.3g}s from state "
+            f"{[round(v, 3) for v in state]} still blows up after "
+            f"{_MAX_HALVINGS} step-halvings (reduce dt or check the "
+            f"loss/RTT parameters)",
+            dt=dt,
+            state=state,
+        )
+    half = dt / 2.0
+    mid = _guarded_step(deriv, state, half, floor, halvings - 1)
+    return _guarded_step(deriv, mid, half, floor, halvings - 1)
+
+
+def step_windows(
+    algorithm: str,
+    windows: Sequence[float],
+    losses: Sequence[float],
+    rtts: Sequence[float],
+    dt: float,
+    floor: float = 1.0,
+    a: float = None,
+) -> List[float]:
+    """Advance the window-based fluid state by one guarded ``dt`` step.
+
+    This is the single-step entry point shared by
+    :func:`integrate_windows` and the hybrid engine's per-class stepper
+    (``repro.hybrid``): RK4 with the stiffness guard, so extreme RTT
+    ratios raise :class:`FluidInstabilityError` rather than silently
+    producing NaN windows.
+    """
+    _check_algorithm(algorithm)
+
+    def deriv(state):
+        return window_derivative(algorithm, state, losses, rtts, a=a)
+
+    return _guarded_step(deriv, list(windows), dt, floor, _MAX_HALVINGS)
+
+
 def integrate_windows(
     algorithm: str,
     losses: Sequence[float],
@@ -192,8 +321,12 @@ def integrate_windows(
     """Integrate the window-based fluid ODE and sample the trajectory.
 
     The floor of one packet mirrors the implementations' w_r >= 1 probe
-    bound (§2.4).
+    bound (§2.4).  Steps run through the stiffness guard: a step that
+    blows up (extreme RTT ratios make this system stiff) is retried at
+    half size, and :class:`FluidInstabilityError` is raised when halving
+    cannot restore stability.
     """
+    _check_algorithm(algorithm)
     if len(losses) != len(rtts):
         raise ValueError("losses and rtts must have the same length")
     state = list(initial) if initial is not None else [2.0] * len(losses)
@@ -204,7 +337,7 @@ def integrate_windows(
     times, states = [0.0], [list(state)]
     steps = int(duration / dt)
     for step in range(1, steps + 1):
-        state = _rk4(deriv, state, dt, floor)
+        state = _guarded_step(deriv, state, dt, floor, _MAX_HALVINGS)
         if step % sample_every == 0 or step == steps:
             times.append(step * dt)
             states.append(list(state))
@@ -239,7 +372,7 @@ def integrate_rates_coupled(
     times, states = [0.0], [list(state)]
     steps = int(duration / dt)
     for step in range(1, steps + 1):
-        state = _rk4(deriv, state, dt, floor)
+        state = _guarded_step(deriv, state, dt, floor, _MAX_HALVINGS)
         if step % sample_every == 0 or step == steps:
             times.append(step * dt)
             states.append(list(state))

@@ -67,7 +67,9 @@ EVENT_TYPES: Dict[str, Dict[str, FieldSpec]] = {
                           "name of the dropping element"),
         "kind": FieldSpec((str,), True, False,
                           "'queue' (buffer overflow), 'pipe' (random media "
-                          "loss) or 'fault' (injected by repro.fault)"),
+                          "loss), 'fault' (injected by repro.fault) or "
+                          "'hybrid' (fluid congestion loss applied to a "
+                          "tracer packet by repro.hybrid)"),
         "flow": _FLOW,
         "seq": FieldSpec((int,), True, True,
                          "subflow sequence number of the dropped packet"),
@@ -288,6 +290,41 @@ EVENT_TYPES: Dict[str, Dict[str, FieldSpec]] = {
         "dst": FieldSpec((str,), True, False, "path traffic migrated to"),
         "mode": FieldSpec((str,), True, False,
                           "'break_before_make' | 'make_before_break'"),
+    },
+    # Hybrid flow-class tier (repro.hybrid): attach marks the fluid
+    # stepper starting; state snapshots are emitted every
+    # ``snapshot_every`` fluid steps when tracing is on.
+    "hybrid.attach": {
+        "classes": FieldSpec((int,), True, False,
+                             "flow classes at stepper start"),
+        "links": FieldSpec((int,), True, False,
+                           "drop-tail queues wrapped as fluid links"),
+        "flows": FieldSpec((int,), True, False,
+                           "aggregate flows represented by the fluid tier"),
+        "dt": FieldSpec((int, float), True, False,
+                        "fluid integration step, seconds"),
+    },
+    "hybrid.class_state": {
+        "cls": FieldSpec((str,), True, False, "flow-class name"),
+        "rate_pps": FieldSpec((int, float), True, False,
+                              "aggregate delivered rate, pkt/s"),
+        "windows": FieldSpec((int, float), True, False,
+                             "sum of the representative flow's per-path "
+                             "windows, packets"),
+        "delivered": FieldSpec((int, float), True, False,
+                               "cumulative aggregate deliveries, packets "
+                               "(fractional: integrates the fluid rate)"),
+    },
+    "hybrid.link_state": {
+        "link": FieldSpec((str,), True, False, "fluid link name"),
+        "fluid_pps": FieldSpec((int, float), True, False,
+                               "aggregate fluid load offered, pkt/s"),
+        "tracer_pps": FieldSpec((int, float), True, False,
+                                "measured packet-level arrival rate, pkt/s"),
+        "backlog": FieldSpec((int, float), True, False,
+                             "fluid queue backlog, packets"),
+        "loss": FieldSpec((int, float), True, False,
+                          "drop-tail fluid loss probability"),
     },
 }
 

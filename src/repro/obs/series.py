@@ -57,7 +57,13 @@ def queue_depth_probe(queue) -> Probe:
 
 
 class SeriesRecorder:
-    """Samples named probes periodically and records aligned rows.
+    """Samples named probes periodically and records aligned columns.
+
+    Storage is columnar: one shared time list plus one pre-bound value
+    list per probe, appended to directly at each tick.  A million-sample
+    recording (the hybrid tier's natural scale) therefore costs a few
+    flat lists, not a dict per row; the dict-shaped ``rows`` view is
+    materialised on demand for compatibility and export only.
 
     Parameters
     ----------
@@ -82,7 +88,12 @@ class SeriesRecorder:
         self._rates: Dict[str, Callable[[], int]] = {}
         self._rate_last: Dict[str, float] = {}
         self._order: List[str] = []        # column order = registration order
-        self.rows: List[Tuple[float, Dict[str, Optional[float]]]] = []
+        self._times: List[float] = []
+        self._columns: Dict[str, List[Optional[float]]] = {}
+        # (column, probe) pairs bound at registration: _tick appends to
+        # the column lists directly, never building a per-row dict.
+        self._gauge_samplers: List[Tuple[List, Probe]] = []
+        self._rate_samplers: List[Tuple[List, Callable[[], int], str]] = []
         self._running = False
 
     # ------------------------------------------------------------------
@@ -91,20 +102,28 @@ class SeriesRecorder:
     def add_probe(self, name: str, probe: Probe) -> None:
         """Register a gauge: ``probe()`` is called at each tick and its
         return value recorded as-is (None allowed for 'no data yet')."""
-        self._check_name(name)
+        column = self._bind_column(name)
         self._gauges[name] = probe
-        self._order.append(name)
+        self._gauge_samplers.append((column, probe))
 
     def add_rate_probe(self, name: str, counter: Callable[[], int]) -> None:
         """Register a rate: ``counter()`` must be monotonic; each tick
         records ``(counter - previous) / interval`` (per second)."""
-        self._check_name(name)
+        column = self._bind_column(name)
         self._rates[name] = counter
-        self._order.append(name)
+        self._rate_samplers.append((column, counter, name))
+        if self._running:
+            self._rate_last[name] = counter()
 
-    def _check_name(self, name: str) -> None:
+    def _bind_column(self, name: str) -> List[Optional[float]]:
         if name in self._gauges or name in self._rates:
             raise ValueError(f"duplicate probe name {name!r}")
+        # A probe registered mid-run starts with None back-fill so all
+        # columns stay aligned with the shared time axis.
+        column: List[Optional[float]] = [None] * len(self._times)
+        self._order.append(name)
+        self._columns[name] = column
+        return column
 
     @property
     def probe_names(self) -> List[str]:
@@ -129,27 +148,40 @@ class SeriesRecorder:
         if not self._running:
             return
         now = self.sim.now
-        row: Dict[str, Optional[float]] = {}
-        for name, probe in self._gauges.items():
-            row[name] = probe()
-        for name, counter in self._rates.items():
-            value = counter()
-            row[name] = (value - self._rate_last[name]) / self.interval
-            self._rate_last[name] = value
         if now > self.warmup:
-            self.rows.append((now, row))
+            self._times.append(now)
+            for column, probe in self._gauge_samplers:
+                column.append(probe())
+            rate_last = self._rate_last
+            for column, counter, name in self._rate_samplers:
+                value = counter()
+                column.append((value - rate_last[name]) / self.interval)
+                rate_last[name] = value
+        else:
+            # Warm-up tick: discard samples but re-baseline the counters.
+            rate_last = self._rate_last
+            for _, counter, name in self._rate_samplers:
+                rate_last[name] = counter()
         self.sim.schedule_in(self.interval, self._tick)
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    @property
+    def rows(self) -> List[Tuple[float, Dict[str, Optional[float]]]]:
+        """Row-oriented view ``[(t, {probe: value})]`` (materialised on
+        demand; the storage itself is columnar)."""
+        columns = [self._columns[name] for name in self._order]
+        return [
+            (t, dict(zip(self._order, values)))
+            for t, values in zip(self._times, zip(*columns))
+        ] if columns else [(t, {}) for t in self._times]
+
     def series(self, name: str) -> Tuple[List[float], List[Optional[float]]]:
         """(times, values) for one probe, post-warm-up samples only."""
-        if name not in self._gauges and name not in self._rates:
+        if name not in self._columns:
             raise KeyError(name)
-        times = [t for t, _ in self.rows]
-        values = [row[name] for _, row in self.rows]
-        return times, values
+        return list(self._times), list(self._columns[name])
 
     def mean(self, name: str) -> float:
         """Average of a probe's non-None samples."""
@@ -170,20 +202,24 @@ class SeriesRecorder:
         """Write one ``{"t": ..., "<probe>": ...}`` object per row."""
         import json
 
+        columns = [self._columns[name] for name in self._order]
         self._write(
             target,
             (
-                json.dumps({"t": t, **row})
-                for t, row in self.rows
+                json.dumps({"t": t, **dict(zip(self._order, values))})
+                for t, values in zip(self._times, zip(*columns))
+            ) if columns else (
+                json.dumps({"t": t}) for t in self._times
             ),
         )
 
     def _csv_lines(self):
         yield ",".join(["t"] + self._order)
-        for t, row in self.rows:
+        columns = [self._columns[name] for name in self._order]
+        for i, t in enumerate(self._times):
             cells = [f"{t:.6f}"]
-            for name in self._order:
-                value = row[name]
+            for column in columns:
+                value = column[i]
                 cells.append("" if value is None else repr(value))
             yield ",".join(cells)
 
@@ -202,5 +238,5 @@ class SeriesRecorder:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SeriesRecorder({len(self._order)} probes, "
-            f"{len(self.rows)} rows, interval={self.interval})"
+            f"{len(self._times)} rows, interval={self.interval})"
         )

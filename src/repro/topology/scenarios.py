@@ -116,6 +116,40 @@ SWEEP_GRIDS = {
         "duration": 4.0,
         "title": "Demo: 8-point RTT-compensation grid (seconds, not minutes)",
     },
+    "fig8_torus_hybrid": {
+        "scenario": "torus_hybrid",
+        "parameters": {
+            "algo": ["ewtcp", "lia", "coupled"],
+            "classes": [5],
+            "flows_per_class": [40],
+            "tracers": [2],
+            "capacity_c_factor": [1.0, 0.25],
+            "check": [1],
+        },
+        "seed": 31,
+        "warmup": 10.0,
+        "duration": 20.0,
+        "title": "Fig 8 hybrid: 200 aggregate flows per point on the torus, "
+                 "with packet tracers (invariant-checked)",
+    },
+    "fig8_torus_hybrid_1m": {
+        "scenario": "torus_hybrid",
+        "parameters": {
+            "algo": ["lia"],
+            "classes": [1000],
+            "flows_per_class": [1000],
+            "tracers": [10],
+            "capacity_c_factor": [0.5],
+            "dt": [0.02],
+            "check": [1],
+        },
+        "seed": 61,
+        "warmup": 4.0,
+        "duration": 8.0,
+        "title": "Fig 8 hybrid at scale: 10^6 aggregate flows "
+                 "(1000 classes x 1000 flows) + 10 packet tracers on one "
+                 "machine (invariant-checked)",
+    },
     "wifi_3g_handover": {
         "scenario": "wifi_3g_handover",
         "parameters": {

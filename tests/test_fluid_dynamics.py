@@ -1,5 +1,7 @@
 """Tests for the time-domain fluid models (window vs rate control)."""
 
+import math
+
 import pytest
 
 from repro.fluid import (
@@ -9,8 +11,10 @@ from repro.fluid import (
     tcp_window,
 )
 from repro.fluid.dynamics import (
+    FluidInstabilityError,
     integrate_rates_coupled,
     integrate_windows,
+    step_windows,
     window_derivative,
 )
 
@@ -61,6 +65,53 @@ class TestWindowOde:
     def test_mismatched_lengths(self):
         with pytest.raises(ValueError):
             integrate_windows("reno", [0.01, 0.02], [0.1])
+
+
+class TestStiffnessGuard:
+    """Extreme RTT ratios make the window ODE stiff; the guarded stepper
+    must retry with halved steps (or raise FluidInstabilityError) rather
+    than silently emitting NaN/overflow windows."""
+
+    # rtt_ratio = 32 with far-from-equilibrium initial windows: unguarded
+    # RK4 overshoots the fast path's window negative inside a stage
+    # (LIA's alpha validation used to surface this as a bare ValueError;
+    # other algorithms produced NaN).
+    STIFF = dict(losses=[0.01, 0.01], rtts=[0.1, 0.1 / 32],
+                 initial=[200.0, 200.0], dt=0.01)
+
+    @pytest.mark.parametrize("algorithm", ["lia", "olia", "balia", "ewtcp"])
+    def test_rtt_ratio_32_stays_finite(self, algorithm):
+        traj = integrate_windows(
+            algorithm, self.STIFF["losses"], self.STIFF["rtts"],
+            initial=self.STIFF["initial"], duration=50.0,
+            dt=self.STIFF["dt"],
+        )
+        assert all(
+            math.isfinite(w) and 1.0 <= w <= 1e9
+            for s in traj.states for w in s
+        )
+
+    def test_single_guarded_step_from_stiff_state(self):
+        nxt = step_windows("lia", self.STIFF["initial"],
+                           self.STIFF["losses"], self.STIFF["rtts"],
+                           dt=self.STIFF["dt"])
+        assert all(math.isfinite(w) and w >= 1.0 for w in nxt)
+
+    def test_instability_raises_not_nan(self):
+        # A step so large that 20 halvings cannot rescue it must raise
+        # the explicit error, never return non-finite state.
+        with pytest.raises(FluidInstabilityError) as exc:
+            step_windows("lia", [1e6, 1e6], [0.5, 0.5],
+                         [10.0, 10.0 / 1024], dt=1e9)
+        # dt on the error is the deepest (still-failing) halved step
+        assert 0 < exc.value.dt <= 1e9
+        assert exc.value.state == [1e6, 1e6]
+
+    def test_step_windows_unknown_algorithm_not_masked(self):
+        # The guard swallows stage-level ValueErrors; an unknown name
+        # must still surface as a plain ValueError, not instability.
+        with pytest.raises(ValueError, match="unknown fluid algorithm"):
+            step_windows("psychic", [2.0], [0.01], [0.1], dt=0.01)
 
 
 class TestWindowRttBias:

@@ -250,7 +250,8 @@ class TestSchemaValidation:
         # events are exercised in tests/test_exp_runner.py; the check.*
         # and fault.* layers in tests/test_check_invariants.py and
         # tests/test_fault_injection.py; the pathmgr.* lifecycle events
-        # in tests/test_pathmgr.py).
+        # in tests/test_pathmgr.py; the hybrid.* flow-class events in
+        # tests/test_hybrid.py).
         assert set(EVENT_TYPES) == {
             "pkt.enqueue", "pkt.drop", "pkt.deliver", "cc.cwnd_update",
             "tcp.timeout", "tcp.fast_retransmit", "mptcp.dsn_ack",
@@ -264,6 +265,7 @@ class TestSchemaValidation:
             "pathmgr.subflow_close", "pathmgr.path_down",
             "pathmgr.path_up", "pathmgr.standby_activate",
             "pathmgr.handover",
+            "hybrid.attach", "hybrid.class_state", "hybrid.link_state",
         }
 
     def test_validate_jsonl_roundtrip_and_errors(self, tmp_path):
