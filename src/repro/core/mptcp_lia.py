@@ -67,6 +67,46 @@ class MptcpController(CongestionController):
     # ------------------------------------------------------------------
     def on_ack(self, subflow: WindowedSubflow) -> None:
         if self.recompute == "per_ack":
+            subflows = self.subflows
+            if len(subflows) == 2:
+                # The common two-path case, with the generic machinery of
+                # increase_for/mptcp_increase unrolled: same expressions in
+                # the same order (sort by w/RTT² with stable ties, prefix
+                # sums over Σ w/RTT), so the result is bit-identical — the
+                # golden suite holds it to that.
+                s0, s1 = subflows
+                w0 = s0.cwnd
+                w1 = s1.cwnd
+                r0 = s0.srtt or _DEFAULT_RTT
+                r1 = s1.srtt or _DEFAULT_RTT
+                v0 = w0 / (r0 * r0)
+                v1 = w1 / (r1 * r1)
+                if v0 <= v1:
+                    first = 0 if subflow is s0 else 1
+                    prefix = w0 / r0
+                    if first == 0:
+                        best = v0 / (prefix * prefix)
+                        prefix += w1 / r1
+                        value = v1 / (prefix * prefix)
+                        if value < best:
+                            best = value
+                    else:
+                        prefix += w1 / r1
+                        best = v1 / (prefix * prefix)
+                else:
+                    first = 0 if subflow is s1 else 1
+                    prefix = w1 / r1
+                    if first == 0:
+                        best = v1 / (prefix * prefix)
+                        prefix += w0 / r0
+                        value = v0 / (prefix * prefix)
+                        if value < best:
+                            best = value
+                    else:
+                        prefix += w0 / r0
+                        best = v0 / (prefix * prefix)
+                subflow.cwnd += best
+                return
             subflow.cwnd += self.increase_for(subflow)
             return
         # per_window: refresh all cached increases once per total window of

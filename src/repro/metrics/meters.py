@@ -104,13 +104,18 @@ class LossMeter:
 
     def __init__(self, queues: List[DropTailQueue]):
         self.queues = list(queues)
-        self._arrivals = [q.arrivals for q in self.queues]
-        self._drops = [q.drops for q in self.queues]
+        # Baseline the monotonic totals, not the public since-reset
+        # counters: a reset_counters() between snapshot() and
+        # loss_rates() (warmup re-baselining does exactly this) would
+        # otherwise leave these baselines above the live counters and
+        # produce negative windows.
+        self._arrivals = [q.total_arrivals for q in self.queues]
+        self._drops = [q.total_drops for q in self.queues]
 
     def snapshot(self) -> None:
         """Re-baseline: subsequent loss_rates() cover from this point."""
-        self._arrivals = [q.arrivals for q in self.queues]
-        self._drops = [q.drops for q in self.queues]
+        self._arrivals = [q.total_arrivals for q in self.queues]
+        self._drops = [q.total_drops for q in self.queues]
 
     def loss_rates(self) -> List[float]:
         """Drop fraction per queue since the last snapshot."""
@@ -118,7 +123,7 @@ class LossMeter:
         for queue, base_arrivals, base_drops in zip(
             self.queues, self._arrivals, self._drops
         ):
-            arrivals = queue.arrivals - base_arrivals
-            drops = queue.drops - base_drops
+            arrivals = queue.total_arrivals - base_arrivals
+            drops = queue.total_drops - base_drops
             rates.append(drops / arrivals if arrivals else 0.0)
         return rates

@@ -25,6 +25,8 @@ __all__ = ["MptcpSubflow"]
 class MptcpSubflow(TcpSender):
     """A TCP sender bound to a parent multipath connection."""
 
+    __slots__ = ("connection",)
+
     def __init__(self, sim, controller, connection, name="", **kwargs):
         super().__init__(sim, controller, source=None, name=name, **kwargs)
         self.connection = connection

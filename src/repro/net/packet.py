@@ -74,7 +74,12 @@ class DataPacket(Packet):
         size: float = 1.0,
         is_retransmit: bool = False,
     ):
-        super().__init__(route, size, flow)
+        # Base __init__ flattened in: one DataPacket per transmission
+        # makes construction itself a hot path.
+        self.route = route
+        self.hop = 0
+        self.size = size
+        self.flow = flow
         self.seq = seq
         self.dsn = dsn
         self.timestamp = timestamp
@@ -115,7 +120,12 @@ class AckPacket(Packet):
         for_retransmit: bool = False,
         sack_blocks: tuple = (),
     ):
-        super().__init__(route, ACK_SIZE, flow)
+        # Base __init__ flattened in, as for DataPacket: one AckPacket
+        # per (delayed) ACK.
+        self.route = route
+        self.hop = 0
+        self.size = ACK_SIZE
+        self.flow = flow
         self.ack_seq = ack_seq
         self.echo_timestamp = echo_timestamp
         self.data_ack = data_ack

@@ -65,6 +65,9 @@ class DropTailQueue:
         "arrivals",
         "departures",
         "drops",
+        "_arrivals_offset",
+        "_departures_offset",
+        "_drops_offset",
         "drop_hook",
         "intercept",
     )
@@ -102,6 +105,12 @@ class DropTailQueue:
         self.arrivals = 0
         self.departures = 0
         self.drops = 0
+        # Consumed counts folded away by reset_counters(); the total_*
+        # properties add them back so meters baselined before a reset
+        # (e.g. a warmup re-baseline) never see counters go backwards.
+        self._arrivals_offset = 0
+        self._departures_offset = 0
+        self._drops_offset = 0
         #: Optional callback invoked with each dropped packet.
         self.drop_hook: Optional[Callable[[Packet], None]] = None
         #: Optional arrival interceptor (``repro.fault``): called with each
@@ -118,13 +127,35 @@ class DropTailQueue:
 
     @property
     def loss_rate(self) -> float:
-        """Fraction of arrivals dropped since creation (or last reset)."""
+        """Fraction of arrivals dropped since the last counter reset."""
         if self.arrivals == 0:
             return 0.0
         return self.drops / self.arrivals
 
+    @property
+    def total_arrivals(self) -> int:
+        """Arrivals since creation — monotonic across counter resets."""
+        return self.arrivals + self._arrivals_offset
+
+    @property
+    def total_departures(self) -> int:
+        """Departures since creation — monotonic across counter resets."""
+        return self.departures + self._departures_offset
+
+    @property
+    def total_drops(self) -> int:
+        """Drops since creation — monotonic across counter resets."""
+        return self.drops + self._drops_offset
+
     def reset_counters(self) -> None:
-        """Zero the arrival/departure/drop counters (not the buffer)."""
+        """Zero the since-reset arrival/departure/drop counters (not the
+        buffer).  ``loss_rate`` and the public counters cover the window
+        from this point; the ``total_*`` properties keep counting from
+        queue creation, so rate/loss meters that baselined *before* the
+        reset remain correct across it."""
+        self._arrivals_offset += self.arrivals
+        self._departures_offset += self.departures
+        self._drops_offset += self.drops
         self.arrivals = 0
         self.departures = 0
         self.drops = 0
@@ -186,7 +217,11 @@ class DropTailQueue:
         self._busy = False
         if self._buffer:
             self._start_service()
-        packet.forward()
+        # packet.forward() inlined: one service completion per packet per
+        # queue makes this one of the hottest callbacks in the simulator.
+        hop = packet.hop + 1
+        packet.hop = hop
+        packet.route[hop].receive(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -251,4 +286,6 @@ class VariableRateQueue(DropTailQueue):
         self._busy = False
         if self._buffer and not self._stalled:
             self._start_service()
-        packet.forward()
+        hop = packet.hop + 1
+        packet.hop = hop
+        packet.route[hop].receive(packet)

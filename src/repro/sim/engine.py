@@ -231,6 +231,13 @@ class EventScheduler:
 
         The clock is left at exactly ``end_time`` (even if the last event was
         earlier), so successive ``run_until`` calls compose naturally.
+
+        Dispatch is batched by timestamp: once the head of the heap is known
+        to be within ``end_time``, the whole same-timestamp run drains in an
+        inner loop — one clock store and one horizon check per distinct
+        instant instead of per event.  Events a callback schedules *at* the
+        running instant join the same drain (exactly where the unbatched
+        loop would have picked them up).
         """
         heap = self._heap
         trace = self.trace
@@ -238,27 +245,31 @@ class EventScheduler:
         executed = 0
         try:
             while heap:
-                entry = heap[0]
-                time = entry[0]
+                time = heap[0][0]
                 if time > end_time:
                     break
-                pop(heap)
-                handle = entry[2]
-                if handle is not None:
-                    handle._sched = None
-                    if handle._cancelled:
-                        self._tombstones -= 1
-                        continue
                 self.now = time
-                executed += 1
-                callback = entry[3]
-                if trace.enabled:
-                    self._trace_fire(trace, time, entry[1], callback)
-                arg = entry[4]
-                if arg is None:
-                    callback()
-                else:
-                    callback(arg)
+                while True:
+                    entry = pop(heap)
+                    handle = entry[2]
+                    if handle is not None:
+                        handle._sched = None
+                        if handle._cancelled:
+                            self._tombstones -= 1
+                            if heap and heap[0][0] == time:
+                                continue
+                            break
+                    executed += 1
+                    callback = entry[3]
+                    if trace.enabled:
+                        self._trace_fire(trace, time, entry[1], callback)
+                    arg = entry[4]
+                    if arg is None:
+                        callback()
+                    else:
+                        callback(arg)
+                    if not heap or heap[0][0] != time:
+                        break
         finally:
             self._events_run += executed
         if end_time > self.now:

@@ -40,7 +40,23 @@ class TcpReceiver:
     ACKs.  Beyond realism (the paper's Linux testbed delays ACKs), this
     makes senders transmit in small bursts, which keeps drop-tail losses
     proportional to arrival rates rather than to window-growth rates.
+
+    Like the sender's RTO, the delayed-ACK timer is lazy: the logical
+    deadline (``_delack_deadline``) is tracked separately from the armed
+    heap event, which re-arms itself when it fires early and does nothing
+    when it fires with no ACK pending — emission times are identical to
+    the cancel-and-reschedule pattern, without the per-packet heap churn.
     """
+
+    __slots__ = (
+        "sim", "name", "enable_sack", "trace", "delayed_ack",
+        "delack_timeout", "_unacked_count", "_delack_timer",
+        "_delack_deadline", "_pending_packet", "expected", "_out_of_order",
+        "_sack_set", "_sack_rotate", "packets_received", "packets_delivered",
+        "duplicates", "_ack_route", "on_deliver", "ack_extension", "_sched",
+        # Tests and fault hooks may wrap methods on live instances.
+        "__dict__",
+    )
 
     def __init__(
         self,
@@ -55,12 +71,14 @@ class TcpReceiver:
         self.name = name
         self.enable_sack = enable_sack
         self.trace = sim.trace if trace is None else trace
+        self._sched = sim.scheduler
         if delayed_ack < 1:
             raise ValueError(f"delayed_ack must be >= 1, got {delayed_ack!r}")
         self.delayed_ack = delayed_ack
         self.delack_timeout = delack_timeout
         self._unacked_count = 0
         self._delack_timer = None
+        self._delack_deadline: Optional[float] = None
         self._pending_packet: Optional[DataPacket] = None
         self.expected = 0              # next in-order subflow sequence number
         self._out_of_order: Dict[int, DataPacket] = {}
@@ -87,32 +105,59 @@ class TcpReceiver:
             raise TypeError(f"receiver got non-data packet {packet!r}")
         self.packets_received += 1
         seq = packet.seq
-        in_order = False
+        if seq == self.expected and not self._out_of_order:
+            # Fast path: plain in-order arrival with nothing buffered.
+            # The SACK set only ever holds buffered ranges, so it is empty
+            # here and the drain/discard below would be no-ops.
+            # _deliver inlined:
+            self.expected = seq + 1
+            self.packets_delivered += 1
+            if self.trace.enabled:
+                self.trace.emit(
+                    "pkt.deliver",
+                    self.sim.now,
+                    flow=getattr(packet.flow, "name", self.name),
+                    seq=seq,
+                    dsn=packet.dsn,
+                )
+            if self.on_deliver is not None:
+                self.on_deliver(packet)
+            if self.delayed_ack > 1:
+                # Delay the ACK up to ``delayed_ack`` segments.
+                count = self._unacked_count + 1
+                if count >= self.delayed_ack:
+                    self._unacked_count = 0
+                    self._pending_packet = None
+                    self._delack_deadline = None
+                    self._send_ack(packet)
+                else:
+                    self._unacked_count = count
+                    self._pending_packet = packet
+                    if count == 1:
+                        # First pending segment starts the clock.
+                        self._delack_deadline = (
+                            self._sched.now + self.delack_timeout
+                        )
+                        if self._delack_timer is None:
+                            self._delack_timer = self._sched.schedule_at(
+                                self._delack_deadline, self._on_delack_timeout
+                            )
+                return
+            self._send_ack(packet)
+            return
+        # Anything unusual — duplicate, hole, hole filled — is
+        # acknowledged immediately.
         if seq < self.expected or seq in self._out_of_order:
             self.duplicates += 1
         elif seq == self.expected:
-            in_order = self.reorder_buffer_size == 0
             self._deliver(packet)
             self._drain()
             self._sack_set.discard_below(self.expected)
         else:
             self._out_of_order[seq] = packet
             self._sack_set.add(seq)
-        if in_order and self.delayed_ack > 1:
-            # Plain in-order data: delay the ACK up to ``delayed_ack``
-            # segments.  Anything unusual (duplicate, hole, hole filled)
-            # is acknowledged immediately.
-            self._unacked_count += 1
-            self._pending_packet = packet
-            if self._unacked_count >= self.delayed_ack:
-                self._emit_pending_ack()
-            elif self._delack_timer is None:
-                self._delack_timer = self.sim.schedule_in(
-                    self.delack_timeout, self._on_delack_timeout
-                )
-        else:
-            self._clear_delack()
-            self._send_ack(packet)
+        self._clear_delack()
+        self._send_ack(packet)
 
     def _emit_pending_ack(self) -> None:
         packet = self._pending_packet
@@ -120,16 +165,24 @@ class TcpReceiver:
         self._send_ack(packet)
 
     def _clear_delack(self) -> None:
+        # The armed heap event, if any, is left to fire as a no-op (or
+        # re-arm towards a newer deadline) instead of being cancelled.
         self._unacked_count = 0
         self._pending_packet = None
-        if self._delack_timer is not None:
-            self._delack_timer.cancel()
-            self._delack_timer = None
+        self._delack_deadline = None
 
     def _on_delack_timeout(self) -> None:
         self._delack_timer = None
-        if self._pending_packet is not None:
-            self._emit_pending_ack()
+        deadline = self._delack_deadline
+        if self._pending_packet is None or deadline is None:
+            return
+        if self._sched.now < deadline - 1e-12:
+            # A newer pending segment pushed the deadline out.
+            self._delack_timer = self._sched.schedule_at(
+                deadline, self._on_delack_timeout
+            )
+            return
+        self._emit_pending_ack()
 
     def _deliver(self, packet: DataPacket) -> None:
         self.expected = packet.seq + 1
@@ -168,22 +221,28 @@ class TcpReceiver:
         return tuple(blocks)
 
     def _send_ack(self, data_packet: DataPacket) -> None:
-        if self._ack_route is None:
+        route = self._ack_route
+        if route is None:
             raise RuntimeError(f"receiver {self.name!r} has no ACK route")
         data_ack, rwnd = (None, None)
         if self.ack_extension is not None:
             data_ack, rwnd = self.ack_extension()
         ack = AckPacket(
-            self._ack_route,
-            flow=data_packet.flow,
-            ack_seq=self.expected,
-            echo_timestamp=data_packet.timestamp,
-            data_ack=data_ack,
-            rwnd=rwnd,
-            for_retransmit=data_packet.is_retransmit,
-            sack_blocks=self._sack_blocks_for(data_packet.seq),
+            route,
+            data_packet.flow,
+            self.expected,
+            data_packet.timestamp,
+            data_ack,
+            rwnd,
+            data_packet.is_retransmit,
+            # _sack_blocks_for's empty cases hoisted: the common in-order
+            # ACK carries no blocks and should not pay the call.
+            self._sack_blocks_for(data_packet.seq)
+            if self.enable_sack and self._sack_set
+            else (),
         )
-        ack.send()
+        # ack.send() inlined (hop is 0 from construction).
+        route[0].receive(ack)
 
     # ------------------------------------------------------------------
     @property

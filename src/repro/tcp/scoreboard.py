@@ -1,0 +1,452 @@
+"""Array-backed SACK scoreboard (the perf-round-2 representation).
+
+The sender's loss-recovery state used to live in four per-seq containers
+(an :class:`~repro.utils.intervals.IntervalSet` of SACKed ranges plus
+three Python sets).  Every ACK paid set allocations, hashing and
+membership probes for what is, structurally, a dense window of small
+integers next to the cumulative ACK point.  This module replaces them
+with one flat ``bytearray`` of per-sequence flag bits indexed relative
+to ``base`` (== the sender's cumulative ACK), plus maintained counts —
+a struct-of-arrays layout where a SACK block update is a short run of
+byte ORs and the cumulative-ACK advance is one ``del flags[:n]``.
+
+Semantics are pinned to the old containers bit-for-bit:
+
+* ``SACKED`` mirrors the IntervalSet: marking a range SACKed also drops
+  those sequences from LOST/RTX, exactly like the old in-place
+  ``difference_update`` calls.
+* ``LOST``/``RTX`` mirror the ``_lost``/``_rtx`` recovery-episode sets:
+  cleared together on episode boundaries, retransmitting the minimum
+  lost hole first.
+* ``RETX`` mirrors ``_retx_pending`` (Karn's algorithm): set on every
+  retransmission, consumed only by the cumulative-ACK advance, and —
+  unlike LOST/RTX — *not* cleared on episode boundaries.
+
+:class:`ReferenceScoreboard` keeps the original container-based
+implementation alive behind the same API; it exists so the hypothesis
+property test (``tests/test_properties.py``) can drive both through
+random ACK/SACK/retransmit sequences and assert state equality — the
+executable form of the "observably identical" claim.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..utils.intervals import IntervalSet
+
+__all__ = ["SackScoreboard", "ReferenceScoreboard", "SACKED", "LOST", "RTX", "RETX"]
+
+#: Per-sequence flag bits.
+SACKED = 0x01  # receiver holds it (reported in a SACK block)
+LOST = 0x02    # marked lost this recovery episode, awaiting retransmit
+RTX = 0x04     # retransmitted this recovery episode
+RETX = 0x08    # retransmitted, not yet cumulatively ACKed (Karn)
+
+_NO_MIN = 1 << 62
+
+#: translate() table clearing the episode bits (LOST|RTX) from every
+#: byte in one C-level pass — the old ``_lost.clear(); _rtx.clear()``.
+_CLEAR_EPISODE = bytes(b & ~(LOST | RTX) for b in range(256))
+
+
+class SackScoreboard:
+    """Flat-array SACK/loss/retransmit scoreboard for one sender.
+
+    All sequence numbers are absolute; ``base`` tracks the cumulative
+    ACK and every flag lives at ``flags[seq - base]``.  Counts are
+    maintained incrementally so the SACK pipe estimate is O(1).
+    """
+
+    __slots__ = (
+        "base", "flags", "n_sacked", "n_lost", "n_rtx", "n_retx",
+        "_lost_min", "_scan_lo",
+    )
+
+    def __init__(self) -> None:
+        self.base = 0
+        self.flags = bytearray()
+        self.n_sacked = 0   # == len(old _sacked)
+        self.n_lost = 0     # == len(old _lost)
+        self.n_rtx = 0      # == len(old _rtx)
+        self.n_retx = 0     # == len(old _retx_pending)
+        self._lost_min = _NO_MIN  # lower bound on the smallest LOST seq
+        self._scan_lo = 0         # detect_losses() resume cursor
+
+    # ------------------------------------------------------------------
+    def _ensure(self, end: int) -> None:
+        """Grow the flag array to cover sequences < ``end``."""
+        need = end - self.base - len(self.flags)
+        if need > 0:
+            self.flags.extend(bytes(need))
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def is_sacked(self, seq: int) -> bool:
+        i = seq - self.base
+        flags = self.flags
+        return 0 <= i < len(flags) and flags[i] & SACKED != 0
+
+    def is_rtx(self, seq: int) -> bool:
+        i = seq - self.base
+        flags = self.flags
+        return 0 <= i < len(flags) and flags[i] & RTX != 0
+
+    def is_retx(self, seq: int) -> bool:
+        i = seq - self.base
+        flags = self.flags
+        return 0 <= i < len(flags) and flags[i] & RETX != 0
+
+    # ------------------------------------------------------------------
+    # SACK updates
+    # ------------------------------------------------------------------
+    def mark_sacked(self, start: int, end: int) -> None:
+        """SACK ``[start, end)``; clears LOST/RTX on the covered run
+        (the old difference_update)."""
+        base = self.base
+        if start < base:
+            start = base
+        if end <= start:
+            return
+        self._ensure(end)
+        flags = self.flags
+        newly = dropped_lost = dropped_rtx = 0
+        for i in range(start - base, end - base):
+            b = flags[i]
+            if b & SACKED:
+                continue
+            if b & LOST:
+                dropped_lost += 1
+            if b & RTX:
+                dropped_rtx += 1
+            flags[i] = b & ~(LOST | RTX) | SACKED
+            newly += 1
+        if newly:
+            self.n_sacked += newly
+            self.n_lost -= dropped_lost
+            self.n_rtx -= dropped_rtx
+
+    # ------------------------------------------------------------------
+    # Episode (LOST/RTX) updates
+    # ------------------------------------------------------------------
+    def mark_lost(self, seq: int) -> None:
+        self._ensure(seq + 1)
+        i = seq - self.base
+        b = self.flags[i]
+        if not b & LOST:
+            self.flags[i] = b | LOST
+            self.n_lost += 1
+            if seq < self._lost_min:
+                self._lost_min = seq
+
+    def mark_rtx(self, seq: int) -> None:
+        self._ensure(seq + 1)
+        i = seq - self.base
+        b = self.flags[i]
+        if not b & RTX:
+            self.flags[i] = b | RTX
+            self.n_rtx += 1
+
+    def pop_min_lost(self) -> int:
+        """Take the smallest LOST sequence and move it to RTX — the
+        recovery loop's ``min(_lost); _lost.discard; _rtx.add``.
+        Only valid while ``n_lost > 0``."""
+        base = self.base
+        flags = self.flags
+        i = self._lost_min - base
+        if i < 0:
+            i = 0
+        while not flags[i] & LOST:
+            i += 1
+        flags[i] = flags[i] & ~LOST | RTX
+        self.n_lost -= 1
+        self.n_rtx += 1
+        seq = base + i
+        self._lost_min = seq + 1
+        return seq
+
+    def clear_episode(self) -> None:
+        """Drop all LOST/RTX marks (recovery entry/exit and RTO); SACKED
+        and RETX survive, exactly like the old per-set ``clear()``s."""
+        if self.n_lost or self.n_rtx:
+            self.flags[:] = self.flags.translate(_CLEAR_EPISODE)
+            self.n_lost = 0
+            self.n_rtx = 0
+        self._lost_min = _NO_MIN
+        self._scan_lo = 0
+
+    # ------------------------------------------------------------------
+    # Karn's algorithm (RETX)
+    # ------------------------------------------------------------------
+    def mark_retx(self, seq: int) -> None:
+        self._ensure(seq + 1)
+        i = seq - self.base
+        b = self.flags[i]
+        if not b & RETX:
+            self.flags[i] = b | RETX
+            self.n_retx += 1
+
+    def retx_below(self, ackno: int) -> bool:
+        """Any retransmit-pending sequence < ``ackno``?  (The Karn
+        ambiguity test; the pending marks themselves are consumed by
+        :meth:`advance`.)"""
+        if not self.n_retx:
+            return False
+        n = ackno - self.base
+        flags = self.flags
+        if n > len(flags):
+            n = len(flags)
+        for i in range(n):
+            if flags[i] & RETX:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Cumulative-ACK advance
+    # ------------------------------------------------------------------
+    def advance(self, ackno: int) -> None:
+        """Drop everything below ``ackno`` (the old ``discard_below``
+        plus the three per-set prunes) and rebase the array."""
+        n = ackno - self.base
+        if n <= 0:
+            return
+        flags = self.flags
+        if n >= len(flags):
+            if self.n_sacked or self.n_lost or self.n_rtx or self.n_retx:
+                self.n_sacked = self.n_lost = self.n_rtx = self.n_retx = 0
+            del flags[:]
+        else:
+            s = l = r = p = 0
+            for i in range(n):
+                b = flags[i]
+                if b:
+                    if b & SACKED:
+                        s += 1
+                    if b & LOST:
+                        l += 1
+                    if b & RTX:
+                        r += 1
+                    if b & RETX:
+                        p += 1
+            if s or l or r or p:
+                self.n_sacked -= s
+                self.n_lost -= l
+                self.n_rtx -= r
+                self.n_retx -= p
+            del flags[:n]
+        self.base = ackno
+        if self._lost_min < ackno:
+            self._lost_min = ackno
+        if self._scan_lo < ackno:
+            self._scan_lo = ackno
+
+    # ------------------------------------------------------------------
+    # RFC 6675 IsLost
+    # ------------------------------------------------------------------
+    def detect_losses(self, dup_thresh: int) -> None:
+        """Mark every unSACKed, unretransmitted hole below the
+        ``dup_thresh``-th highest SACKed sequence as LOST.
+
+        Sequences below the previous cutoff are already settled — each
+        is SACKED, RTX or LOST, and stays in that union until the ACK
+        point passes it — so the scan resumes at the saved cursor and
+        each sequence is visited once per recovery episode.
+        """
+        if not self.n_sacked:
+            return
+        flags = self.flags
+        base = self.base
+        need = dup_thresh
+        cutoff = 0
+        for i in range(len(flags) - 1, -1, -1):
+            if flags[i] & SACKED:
+                need -= 1
+                if not need:
+                    cutoff = i
+                    break
+        if need:
+            return  # fewer than dup_thresh sequences SACKed
+        lo = self._scan_lo - base
+        if lo < 0:
+            lo = 0
+        if lo < cutoff:
+            lost_min = self._lost_min
+            n_new = 0
+            for i in range(lo, cutoff):
+                if not flags[i] & (SACKED | LOST | RTX):
+                    flags[i] |= LOST
+                    n_new += 1
+                    if base + i < lost_min:
+                        lost_min = base + i
+            if n_new:
+                self.n_lost += n_new
+                self._lost_min = lost_min
+            self._scan_lo = base + cutoff
+
+    # ------------------------------------------------------------------
+    # Debug / test views (not used on the hot path)
+    # ------------------------------------------------------------------
+    def _seqs_with(self, bit: int) -> Set[int]:
+        base = self.base
+        return {base + i for i, b in enumerate(self.flags) if b & bit}
+
+    def sacked_set(self) -> Set[int]:
+        return self._seqs_with(SACKED)
+
+    def lost_set(self) -> Set[int]:
+        return self._seqs_with(LOST)
+
+    def rtx_set(self) -> Set[int]:
+        return self._seqs_with(RTX)
+
+    def retx_set(self) -> Set[int]:
+        return self._seqs_with(RETX)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SackScoreboard(base={self.base}, sacked={self.n_sacked}, "
+            f"lost={self.n_lost}, rtx={self.n_rtx}, retx={self.n_retx})"
+        )
+
+
+class ReferenceScoreboard:
+    """The original container-based scoreboard, kept as the semantic
+    reference for the equivalence property test.
+
+    Implements the same API as :class:`SackScoreboard` with the exact
+    pre-rewrite data structures and update rules from
+    ``repro.tcp.sender`` (an IntervalSet plus three sets).
+    """
+
+    __slots__ = ("base", "_sacked", "_lost", "_rtx", "_retx_pending")
+
+    def __init__(self) -> None:
+        self.base = 0
+        self._sacked = IntervalSet()
+        self._lost: Set[int] = set()
+        self._rtx: Set[int] = set()
+        self._retx_pending: Set[int] = set()
+
+    # -- counts -------------------------------------------------------
+    @property
+    def n_sacked(self) -> int:
+        return len(self._sacked)
+
+    @property
+    def n_lost(self) -> int:
+        return len(self._lost)
+
+    @property
+    def n_rtx(self) -> int:
+        return len(self._rtx)
+
+    @property
+    def n_retx(self) -> int:
+        return len(self._retx_pending)
+
+    # -- membership ---------------------------------------------------
+    def is_sacked(self, seq: int) -> bool:
+        return seq in self._sacked
+
+    def is_rtx(self, seq: int) -> bool:
+        return seq in self._rtx
+
+    def is_retx(self, seq: int) -> bool:
+        return seq in self._retx_pending
+
+    # -- SACK ---------------------------------------------------------
+    def mark_sacked(self, start: int, end: int) -> None:
+        if end <= self.base:
+            return
+        self._sacked.add(max(start, self.base), end)
+        sacked = self._sacked
+        lost = self._lost
+        if lost:
+            dead = [s for s in lost if s in sacked]
+            if dead:
+                lost.difference_update(dead)
+        rtx = self._rtx
+        if rtx:
+            dead = [s for s in rtx if s in sacked]
+            if dead:
+                rtx.difference_update(dead)
+
+    # -- episode ------------------------------------------------------
+    def mark_lost(self, seq: int) -> None:
+        self._lost.add(seq)
+
+    def mark_rtx(self, seq: int) -> None:
+        self._rtx.add(seq)
+
+    def pop_min_lost(self) -> int:
+        seq = min(self._lost)
+        self._lost.discard(seq)
+        self._rtx.add(seq)
+        return seq
+
+    def clear_episode(self) -> None:
+        self._lost.clear()
+        self._rtx.clear()
+
+    # -- Karn ---------------------------------------------------------
+    def mark_retx(self, seq: int) -> None:
+        self._retx_pending.add(seq)
+
+    def retx_below(self, ackno: int) -> bool:
+        return any(s < ackno for s in self._retx_pending)
+
+    # -- advance ------------------------------------------------------
+    def advance(self, ackno: int) -> None:
+        if ackno <= self.base:
+            return
+        self.base = ackno
+        self._sacked.discard_below(ackno)
+        for member in (self._lost, self._rtx, self._retx_pending):
+            dead = [s for s in member if s < ackno]
+            if dead:
+                member.difference_update(dead)
+
+    # -- IsLost -------------------------------------------------------
+    def detect_losses(self, dup_thresh: int) -> None:
+        """Verbatim pre-rewrite ``TcpSender._detect_losses``."""
+        if not self._sacked:
+            return
+        need = dup_thresh
+        cutoff = self.base
+        for start, end in reversed(list(self._sacked.intervals())):
+            size = end - start
+            if size >= need:
+                cutoff = end - need
+                break
+            need -= size
+        if cutoff <= self.base:
+            return
+        pos = self.base
+        for start, end in self._sacked.intervals():
+            if end <= pos:
+                continue
+            if start >= cutoff:
+                break
+            for seq in range(pos, min(start, cutoff)):
+                if seq not in self._rtx:
+                    self._lost.add(seq)
+            pos = max(pos, end)
+            if pos >= cutoff:
+                break
+        for seq in range(pos, cutoff):
+            if seq not in self._rtx:
+                self._lost.add(seq)
+
+    # -- views --------------------------------------------------------
+    def sacked_set(self) -> Set[int]:
+        return {s for a, b in self._sacked.intervals() for s in range(a, b)}
+
+    def lost_set(self) -> Set[int]:
+        return set(self._lost)
+
+    def rtx_set(self) -> Set[int]:
+        return set(self._rtx)
+
+    def retx_set(self) -> Set[int]:
+        return set(self._retx_pending)

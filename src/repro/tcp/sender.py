@@ -18,6 +18,12 @@ above it, and during recovery keeps the pipe full with retransmissions
 first, then new data.  With ``enable_sack=False`` it degrades to classic
 NewReno (one hole recovered per RTT), which the ablation benchmarks compare.
 
+The scoreboard lives in :class:`~repro.tcp.scoreboard.SackScoreboard` — a
+flat array of per-sequence flag bits rebased at the cumulative ACK, with
+maintained counts (the perf-round-2 representation; the old container-based
+implementation is retained there as the reference for the equivalence
+property test).
+
 A multipath subflow subclasses this sender and plugs the connection-level
 data-sequence machinery into ``_acquire_payload`` / ``_process_ack_extras``.
 
@@ -27,15 +33,15 @@ Sequence numbers count packets from 0; ``last_acked`` is the cumulative ACK
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..core.base import CongestionController
 from ..net.packet import AckPacket, DataPacket
 from ..net.route import Route
 from ..sim.simulation import Simulation
-from ..utils.intervals import IntervalSet
 from .receiver import TcpReceiver
 from .rtt import RttEstimator
+from .scoreboard import SackScoreboard
 from .source import InfiniteSource
 
 __all__ = ["TcpSender", "TcpFlow"]
@@ -46,6 +52,19 @@ DUP_THRESH = 3
 
 class TcpSender:
     """One (sub)flow's sending side."""
+
+    __slots__ = (
+        "sim", "controller", "source", "name", "enable_sack", "trace",
+        "cwnd", "init_cwnd", "min_cwnd", "max_cwnd", "ssthresh",
+        "highest_sent", "max_seq_sent", "last_acked", "dup_acks",
+        "in_recovery", "recover_seq", "_sb", "rtt", "_rtx_timer",
+        "_timer_deadline", "_data_route", "_route", "_dsn_map",
+        "packets_sent", "retransmissions", "loss_events", "timeouts",
+        "running", "completed", "retired", "on_complete", "_sched",
+        # Fault injection (repro.fault) wraps .receive on live instances,
+        # and tests attach ad-hoc probes; keep a dict alongside the slots.
+        "__dict__",
+    )
 
     def __init__(
         self,
@@ -66,6 +85,9 @@ class TcpSender:
         self.name = name
         self.enable_sack = enable_sack
         self.trace = sim.trace if trace is None else trace
+        # The scheduler is touched on every transmit/ACK/timer operation;
+        # going through the Simulation.now property costs a call per access.
+        self._sched = sim.scheduler
 
         # Window state (packets).
         self.cwnd = float(init_cwnd)
@@ -82,16 +104,9 @@ class TcpSender:
         self.in_recovery = False
         self.recover_seq = 0
 
-        # SACK scoreboard.
-        self._sacked = IntervalSet()   # SACKed seqs above last_acked
-        self._lost: Set[int] = set()   # holes marked lost, not yet resent
-        self._rtx: Set[int] = set()    # holes resent this recovery episode
-
-        # Karn's algorithm: sequence numbers that have been retransmitted
-        # and not yet cumulatively acknowledged.  An ACK covering any of
-        # them is ambiguous (it may acknowledge the original or the copy)
-        # and must not produce an RTT sample.
-        self._retx_pending: Set[int] = set()
+        # SACK/loss/retransmit scoreboard (flat flag array; includes the
+        # Karn retransmit-ambiguity marks that used to be a fourth set).
+        self._sb = SackScoreboard()
 
         # Timing.
         self.rtt = RttEstimator(min_rto=min_rto)
@@ -204,8 +219,10 @@ class TcpSender:
 
     def _pipe(self) -> int:
         """SACK pipe estimate: packets believed to be in the network."""
+        sb = self._sb
         return (
-            self.in_flight - len(self._sacked) - len(self._lost) + len(self._rtx)
+            self.highest_sent - self.last_acked
+            - sb.n_sacked - sb.n_lost + sb.n_rtx
         )
 
     def maybe_send(self) -> None:
@@ -220,21 +237,33 @@ class TcpSender:
         # only forward progress (a new cumulative ACK) may do that,
         # otherwise a steady stream of duplicate ACKs would forever postpone
         # the timeout that recovers a lost retransmission.
-        self._ensure_timer(reset=False)
+        if self.highest_sent > self.last_acked and self.running:
+            if self._timer_deadline is None:
+                self._timer_deadline = self._sched.now + self.rtt.rto
+            if self._rtx_timer is None:
+                self._rtx_timer = self._sched.schedule_at(
+                    self._timer_deadline, self._on_timer_fire
+                )
+        else:
+            self._timer_deadline = None
 
     def _window_send(self) -> None:
-        while self.in_flight < self.effective_window():
+        # The window bound is loop-invariant: nothing inside _send_next
+        # touches cwnd, dup_acks or the recovery flags.
+        window = self.effective_window()
+        while self.highest_sent - self.last_acked < window:
             if not self._send_next():
                 break
 
     def _sack_recovery_send(self) -> None:
         window = int(self.cwnd + 1e-9)
-        while self._pipe() < window:
-            if self._lost:
-                seq = min(self._lost)
-                self._lost.discard(seq)
-                self._rtx.add(seq)
-                self._fast_retransmit(seq)
+        sb = self._sb
+        while (
+            self.highest_sent - self.last_acked
+            - sb.n_sacked - sb.n_lost + sb.n_rtx
+        ) < window:
+            if sb.n_lost:
+                self._fast_retransmit(sb.pop_min_lost())
             elif not self._send_next():
                 break
 
@@ -246,7 +275,7 @@ class TcpSender:
             # Go-back-N territory after a timeout: resend old sequence
             # numbers with their original payload mapping, skipping any the
             # scoreboard says the receiver already holds.
-            if self.enable_sack and seq in self._sacked:
+            if self.enable_sack and self._sb.is_sacked(seq):
                 self.highest_sent = seq + 1
                 return True
             self._transmit(seq, self._dsn_map.get(seq), is_retransmit=True)
@@ -276,25 +305,24 @@ class TcpSender:
         return True, None
 
     def _transmit(self, seq: int, dsn: Optional[int], is_retransmit: bool) -> None:
+        route = self._data_route
         packet = DataPacket(
-            self._data_route,
-            flow=self,
-            seq=seq,
-            timestamp=self.sim.now,
-            dsn=dsn,
-            is_retransmit=is_retransmit,
+            route, self, seq, self._sched.now, dsn, 1.0, is_retransmit
         )
         self.packets_sent += 1
         if is_retransmit:
             self.retransmissions += 1
-            self._retx_pending.add(seq)
-        packet.send()
+            # Karn's algorithm: an ACK covering this sequence is ambiguous
+            # until the cumulative ACK passes it.
+            self._sb.mark_retx(seq)
+        # packet.send() inlined (hop is 0 from construction).
+        route[0].receive(packet)
 
     def _fast_retransmit(self, seq: int) -> None:
         """Resend one specific segment without touching highest_sent."""
         if self.trace.enabled:
             self.trace.emit(
-                "tcp.fast_retransmit", self.sim.now, flow=self.name, seq=seq
+                "tcp.fast_retransmit", self._sched.now, flow=self.name, seq=seq
             )
         self._transmit(seq, self._dsn_map.get(seq), is_retransmit=True)
 
@@ -303,7 +331,7 @@ class TcpSender:
         ssthresh = self.ssthresh
         self.trace.emit(
             "cc.cwnd_update",
-            self.sim.now,
+            self._sched.now,
             flow=self.name,
             cwnd=self.cwnd,
             ssthresh=None if ssthresh == float("inf") else ssthresh,
@@ -321,38 +349,26 @@ class TcpSender:
         ackno = ack.ack_seq
         if ackno > self.last_acked:
             self._on_new_ack(ackno, ack)
-        elif ackno == self.last_acked and self.in_flight > 0:
+        elif ackno == self.last_acked and self.highest_sent > ackno:
             self._on_dup_ack()
         if self.in_recovery and self.enable_sack:
-            self._detect_losses()
+            self._sb.detect_losses(DUP_THRESH)
         self.maybe_send()
 
     def _process_ack_extras(self, ack: AckPacket) -> None:
         """Hook for multipath subflows: data ACK and receive window."""
 
     def _update_scoreboard(self, ack: AckPacket) -> None:
-        if not self.enable_sack or not ack.sack_blocks:
+        blocks = ack.sack_blocks
+        if not blocks or not self.enable_sack:
             return
-        last_acked = self.last_acked
-        sacked = self._sacked
-        for start, end in ack.sack_blocks:
-            if end > last_acked:
-                sacked.add(max(start, last_acked), end)
-        # In-place difference updates: rebuilding these sets with a
-        # comprehension on every SACK-bearing ACK allocated a fresh set
-        # even when nothing changed, which showed up in the ACK-path
-        # profile.  Observable behaviour is identical (see the property
-        # test in tests/test_properties.py).
-        lost = self._lost
-        if lost:
-            dead = [s for s in lost if s in sacked]
-            if dead:
-                lost.difference_update(dead)
-        rtx = self._rtx
-        if rtx:
-            dead = [s for s in rtx if s in sacked]
-            if dead:
-                rtx.difference_update(dead)
+        sb = self._sb
+        for start, end in blocks:
+            # mark_sacked clamps to the scoreboard base (== last_acked)
+            # and drops covered sequences from the lost/rtx marks — the
+            # old IntervalSet add plus in-place difference updates (see
+            # the property test in tests/test_properties.py).
+            sb.mark_sacked(start, end)
 
     def _on_new_ack(self, ackno: int, ack: AckPacket) -> None:
         newly_acked = ackno - self.last_acked
@@ -364,24 +380,16 @@ class TcpSender:
             # old segments arrive: fast-forward the send cursor.
             self.highest_sent = ackno
         self.dup_acks = 0
-        self._sacked.discard_below(ackno)
-        lost = self._lost
-        if lost:
-            dead = [s for s in lost if s < ackno]
-            if dead:
-                lost.difference_update(dead)
-        rtx = self._rtx
-        if rtx:
-            dead = [s for s in rtx if s < ackno]
-            if dead:
-                rtx.difference_update(dead)
+        sb = self._sb
+        # One pass drops everything below the new cumulative ACK: SACKed
+        # ranges, lost/rtx marks and consumed Karn ambiguity marks.
+        sb.advance(ackno)
 
         if self.in_recovery:
             if ackno >= self.recover_seq:
                 # Full ACK: recovery is over; deflate to ssthresh.
                 self.in_recovery = False
-                self._lost.clear()
-                self._rtx.clear()
+                sb.clear_episode()
                 self.cwnd = max(self.min_cwnd, min(self.cwnd, self.ssthresh))
                 if self.trace.enabled:
                     self._trace_cwnd("recovery_exit")
@@ -389,14 +397,23 @@ class TcpSender:
                 # Partial ACK (NewReno): the hole at the new cumulative ACK
                 # point was also lost.
                 if self.enable_sack:
-                    if ackno not in self._sacked and ackno not in self._rtx:
-                        self._lost.add(ackno)
+                    if not sb.is_sacked(ackno) and not sb.is_rtx(ackno):
+                        sb.mark_lost(ackno)
                 else:
                     self._fast_retransmit(ackno)
         else:
             self._grow_window(newly_acked)
 
-        self._ensure_timer(reset=True)
+        # Re-arm the RTO from the new forward-progress point.
+        if self.highest_sent > ackno and self.running:
+            deadline = self._sched.now + self.rtt.rto
+            self._timer_deadline = deadline
+            if self._rtx_timer is None:
+                self._rtx_timer = self._sched.schedule_at(
+                    deadline, self._on_timer_fire
+                )
+        else:
+            self._timer_deadline = None
         self._check_complete()
 
     def _sample_rtt(self, ackno: int, ack: AckPacket) -> None:
@@ -409,24 +426,11 @@ class TcpSender:
         folding the wrong round trip into SRTT corrupts the RTO (RFC 6298
         §5 / Karn & Partridge).  Suppressing the sample also leaves the
         timer backoff in force until an unambiguous segment round-trips.
+        (The pending marks themselves are consumed by the scoreboard
+        advance in ``_on_new_ack``.)
         """
-        ambiguous = ack.for_retransmit
-        retx_pending = self._retx_pending
-        if retx_pending:
-            # Drop acked entries in-place; iterate over whichever of the
-            # pending set / acked range is smaller.
-            if len(retx_pending) <= ackno - self.last_acked:
-                dead = [s for s in retx_pending if s < ackno]
-            else:
-                dead = [
-                    s for s in range(self.last_acked, ackno)
-                    if s in retx_pending
-                ]
-            if dead:
-                ambiguous = True
-                retx_pending.difference_update(dead)
-        if not ambiguous:
-            self.rtt.sample(max(1e-9, self.sim.now - ack.echo_timestamp))
+        if not ack.for_retransmit and not self._sb.retx_below(ackno):
+            self.rtt.sample(max(1e-9, self._sched.now - ack.echo_timestamp))
 
     def _grow_window(self, newly_acked: int) -> None:
         for _ in range(newly_acked):
@@ -461,43 +465,10 @@ class TcpSender:
             self._trace_cwnd("loss")
         self.recover_seq = self.highest_sent
         self.in_recovery = True
-        self._lost.clear()
-        self._rtx.clear()
-        self._rtx.add(self.last_acked)
+        sb = self._sb
+        sb.clear_episode()
+        sb.mark_rtx(self.last_acked)
         self._fast_retransmit(self.last_acked)
-
-    def _detect_losses(self) -> None:
-        """Mark holes lost once >= DUP_THRESH SACKed packets lie above them
-        (the RFC 6675 IsLost rule, simplified)."""
-        if not self._sacked:
-            return
-        # Find the DUP_THRESH-th highest SACKed sequence number; every
-        # unSACKed hole below it is deemed lost.
-        need = DUP_THRESH
-        cutoff = self.last_acked
-        for start, end in reversed(list(self._sacked.intervals())):
-            size = end - start
-            if size >= need:
-                cutoff = end - need
-                break
-            need -= size
-        if cutoff <= self.last_acked:
-            return
-        pos = self.last_acked
-        for start, end in self._sacked.intervals():
-            if end <= pos:
-                continue
-            if start >= cutoff:
-                break
-            for seq in range(pos, min(start, cutoff)):
-                if seq not in self._rtx:
-                    self._lost.add(seq)
-            pos = max(pos, end)
-            if pos >= cutoff:
-                break
-        for seq in range(pos, cutoff):
-            if seq not in self._rtx:
-                self._lost.add(seq)
 
     def _release_mappings(self, lo: int, hi: int) -> None:
         dsn_map = self._dsn_map
@@ -519,25 +490,14 @@ class TcpSender:
     # ------------------------------------------------------------------
     # Retransmission timer
     # ------------------------------------------------------------------
-    def _ensure_timer(self, reset: bool = True) -> None:
-        """Lazily (re)arm the RTO timer.
-
-        Rather than cancelling and rescheduling a heap event on every ACK,
-        we only track the logical deadline; when the scheduled event fires
-        early relative to it (because progress pushed the deadline out), it
-        re-arms itself for the remainder.  With ``reset=False`` an existing
-        deadline is left alone (used on sends and duplicate ACKs, which are
-        not forward progress).
-        """
-        if self.in_flight > 0 and self.running:
-            if reset or self._timer_deadline is None:
-                self._timer_deadline = self.sim.now + self.rtt.rto
-            if self._rtx_timer is None:
-                self._rtx_timer = self.sim.schedule_at(
-                    self._timer_deadline, self._on_timer_fire
-                )
-        else:
-            self._timer_deadline = None
+    # The RTO timer is lazy: rather than cancelling and rescheduling a heap
+    # event on every ACK, the sender tracks the logical deadline
+    # (_timer_deadline) and the armed heap event (_rtx_timer) separately.
+    # When the event fires early relative to the deadline (because progress
+    # pushed the deadline out), it re-arms itself for the remainder.  The
+    # (re)arm logic is inlined at its two call sites — maybe_send (which
+    # never pushes an existing deadline out) and _on_new_ack (which always
+    # resets it) — because it runs on every ACK.
 
     def _cancel_timer(self) -> None:
         self._timer_deadline = None
@@ -549,13 +509,13 @@ class TcpSender:
         self._rtx_timer = None
         if (
             self._timer_deadline is None
-            or self.in_flight == 0
+            or self.highest_sent == self.last_acked
             or not self.running
         ):
             return
-        if self.sim.now < self._timer_deadline - 1e-12:
+        if self._sched.now < self._timer_deadline - 1e-12:
             # Progress since this event was scheduled: sleep the remainder.
-            self._rtx_timer = self.sim.schedule_at(
+            self._rtx_timer = self._sched.schedule_at(
                 self._timer_deadline, self._on_timer_fire
             )
             return
@@ -568,7 +528,7 @@ class TcpSender:
         if self.trace.enabled:
             self.trace.emit(
                 "tcp.timeout",
-                self.sim.now,
+                self._sched.now,
                 flow=self.name,
                 rto=self.rtt.rto,
                 cwnd=self.cwnd,
@@ -588,8 +548,7 @@ class TcpSender:
             self._trace_cwnd("timeout")
         self.in_recovery = False
         self.dup_acks = 0
-        self._lost.clear()
-        self._rtx.clear()
+        self._sb.clear_episode()
         # Go-back-N: rewind the send cursor; old sequence numbers will be
         # resent (with their original payload mapping) as the window opens,
         # skipping anything the SACK scoreboard shows as received.

@@ -206,88 +206,88 @@ class TestEngineProperties:
 
 
 class TestScoreboardEquivalence:
-    """The in-place SACK scoreboard updates (PR 4's hot-path pass) must be
-    observably identical to the original set-comprehension rebuilds."""
+    """The flat-array SACK scoreboard (the hot-path rewrite) must be
+    observably identical to the retained set-based reference
+    (:class:`repro.tcp.scoreboard.ReferenceScoreboard`, the pre-rewrite
+    implementation verbatim) under any operation sequence the sender can
+    produce.
 
-    SEQ_SPACE = 48
+    Two constraints below mirror the sender's call discipline, which both
+    implementations assume: a sequence is never marked lost while it is
+    SACKed (``_on_new_ack``'s partial-ACK guard / ``detect_losses``'s hole
+    rule) nor while it is already retransmitted this episode.
+    """
+
+    # Offsets are relative to the current scoreboard base, so advances
+    # keep the exercised window small while base itself grows unboundedly.
+    OPS = st.lists(
+        st.one_of(
+            st.tuples(st.just("sack"), st.integers(0, 40), st.integers(1, 8)),
+            st.tuples(st.just("lost"), st.integers(0, 40)),
+            st.tuples(st.just("retx"), st.integers(0, 40)),
+            st.tuples(st.just("pop"), st.just(0)),
+            st.tuples(st.just("clear"), st.just(0)),
+            st.tuples(st.just("advance"), st.integers(1, 12)),
+            st.tuples(st.just("detect"), st.just(0)),
+        ),
+        min_size=1,
+        max_size=60,
+    )
 
     @staticmethod
-    def _reference_sack(sacked, lost, rtx, last_acked, blocks):
-        """Pre-optimization semantics of ``_update_scoreboard``."""
-        if not blocks:
-            return sacked, lost, rtx
-        sacked = set(sacked)
-        for start, end in blocks:
-            if end > last_acked:
-                sacked |= set(range(max(start, last_acked), end))
-        lost = {s for s in lost if s not in sacked}
-        rtx = {s for s in rtx if s not in sacked}
-        return sacked, lost, rtx
-
-    @staticmethod
-    def _reference_advance(sacked, lost, rtx, ackno):
-        """Pre-optimization semantics of the ``_on_new_ack`` prune."""
+    def _snapshot(sb):
         return (
-            {s for s in sacked if s >= ackno},
-            {s for s in lost if s >= ackno},
-            {s for s in rtx if s >= ackno},
+            sb.base,
+            sb.n_sacked, sb.n_lost, sb.n_rtx, sb.n_retx,
+            sb.sacked_set(), sb.lost_set(), sb.rtx_set(), sb.retx_set(),
         )
 
-    @given(
-        lost=st.sets(st.integers(0, 47), max_size=12),
-        rtx=st.sets(st.integers(0, 47), max_size=12),
-        acks=st.lists(
-            st.tuples(
-                st.integers(0, 6),  # cumulative ACK advance
-                st.lists(           # SACK blocks (start, length)
-                    st.tuples(st.integers(0, 46), st.integers(1, 6)),
-                    max_size=3,
-                ),
-            ),
-            min_size=1,
-            max_size=10,
-        ),
-    )
-    @settings(max_examples=150, deadline=None)
-    def test_inplace_updates_match_set_rebuild_semantics(
-        self, lost, rtx, acks
-    ):
-        from repro.core.uncoupled import RenoController
-        from repro.net.packet import AckPacket
-        from repro.sim.simulation import Simulation
-        from repro.tcp.sender import TcpSender
+    @given(ops=OPS)
+    @settings(max_examples=300, deadline=None)
+    def test_array_scoreboard_matches_set_reference(self, ops):
+        from repro.tcp.scoreboard import ReferenceScoreboard, SackScoreboard
 
-        sim = Simulation(seed=0)
-        sender = TcpSender(sim, RenoController(), name="prop")
-        sender.highest_sent = sender.max_seq_sent = self.SEQ_SPACE + 16
-        sender._lost = set(lost)
-        sender._rtx = set(rtx)
+        arr = SackScoreboard()
+        ref = ReferenceScoreboard()
+        for op in ops:
+            kind = op[0]
+            base = ref.base
+            if kind == "sack":
+                # Blocks may start below the base (a stale report): both
+                # implementations clamp.
+                lo = base + op[1] - 4
+                hi = lo + op[2]
+                arr.mark_sacked(lo, hi)
+                ref.mark_sacked(lo, hi)
+            elif kind == "lost":
+                seq = base + op[1]
+                if ref.is_sacked(seq) or ref.is_rtx(seq):
+                    continue  # sender discipline (see class docstring)
+                arr.mark_lost(seq)
+                ref.mark_lost(seq)
+            elif kind == "retx":
+                seq = base + op[1]
+                arr.mark_retx(seq)
+                ref.mark_retx(seq)
+            elif kind == "pop":
+                if not ref.n_lost:
+                    continue
+                assert arr.pop_min_lost() == ref.pop_min_lost()
+            elif kind == "clear":
+                arr.clear_episode()
+                ref.clear_episode()
+            elif kind == "advance":
+                arr.advance(base + op[1])
+                ref.advance(base + op[1])
+            else:  # detect
+                arr.detect_losses(3)
+                ref.detect_losses(3)
+            assert self._snapshot(arr) == self._snapshot(ref), op
 
-        ref_sacked: set = set()
-        ref_lost, ref_rtx = set(lost), set(rtx)
-
-        for advance, raw_blocks in acks:
-            blocks = tuple(
-                (start, min(start + length, self.SEQ_SPACE))
-                for start, length in raw_blocks
-                if start < self.SEQ_SPACE
-            )
-            ackno = sender.last_acked + advance
-            ack = AckPacket((sender,), flow=sender, ack_seq=ackno,
-                            echo_timestamp=0.0, sack_blocks=blocks)
-
-            sender._update_scoreboard(ack)
-            ref_sacked, ref_lost, ref_rtx = self._reference_sack(
-                ref_sacked, ref_lost, ref_rtx, sender.last_acked, blocks
-            )
-            if ackno > sender.last_acked:
-                sender._on_new_ack(ackno, ack)
-                ref_sacked, ref_lost, ref_rtx = self._reference_advance(
-                    ref_sacked, ref_lost, ref_rtx, ackno
-                )
-
-            limit = self.SEQ_SPACE + 16
-            got_sacked = {s for s in range(limit) if s in sender._sacked}
-            assert got_sacked == ref_sacked
-            assert sender._lost == ref_lost
-            assert sender._rtx == ref_rtx
+        # Point queries agree across the whole live window (and just
+        # outside it, where both must answer False).
+        for seq in range(max(0, ref.base - 2), ref.base + 64):
+            assert arr.is_sacked(seq) == ref.is_sacked(seq)
+            assert arr.is_rtx(seq) == ref.is_rtx(seq)
+            assert arr.is_retx(seq) == ref.is_retx(seq)
+            assert arr.retx_below(seq) == ref.retx_below(seq)

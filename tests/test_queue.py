@@ -96,6 +96,59 @@ class TestDropTailQueue:
         q.reset_counters()
         assert q.arrivals == 0 and q.drops == 0 and q.loss_rate == 0.0
 
+    def test_loss_rate_covers_only_the_window_since_reset(self):
+        """After reset_counters(), loss_rate must reflect the new window
+        alone — pre-reset drops must not linger in the ratio."""
+        sim = Simulation()
+        q = DropTailQueue(sim, rate_pps=1.0, capacity=1, jitter=0.0)
+        sink = Collector(sim)
+        send_packets(sim, q, sink, 4)   # 1 served+queued, 3 dropped
+        sim.run()
+        assert q.loss_rate == pytest.approx(0.75)
+        q.reset_counters()
+        send_packets(sim, q, sink, 1)   # capacity free again: no drop
+        sim.run()
+        assert q.drops == 0
+        assert q.loss_rate == 0.0
+
+    def test_totals_are_monotonic_across_resets(self):
+        """total_* keep counting from creation; meters baselined before a
+        reset_counters() must never see the counters go backwards."""
+        sim = Simulation()
+        q = DropTailQueue(sim, rate_pps=1.0, capacity=1, jitter=0.0)
+        sink = Collector(sim)
+        send_packets(sim, q, sink, 3)   # 1 accepted, 2 dropped
+        sim.run()
+        base_arrivals, base_drops = q.total_arrivals, q.total_drops
+        assert (base_arrivals, base_drops) == (3, 2)
+        q.reset_counters()
+        assert q.total_arrivals == 3 and q.total_drops == 2
+        assert q.total_departures == q.departures + 1  # pre-reset service
+        send_packets(sim, q, sink, 3)
+        sim.run()
+        # The window spanning the reset stays exact: 3 new arrivals, 2 new
+        # drops, never negative.
+        assert q.total_arrivals - base_arrivals == 3
+        assert q.total_drops - base_drops == 2
+
+    def test_loss_meter_window_spanning_a_reset(self):
+        """Regression: LossMeter baselines taken before reset_counters()
+        used to go stale (negative windows); with total_* they stay
+        correct."""
+        from repro.metrics.meters import LossMeter
+
+        sim = Simulation()
+        q = DropTailQueue(sim, rate_pps=1.0, capacity=1, jitter=0.0)
+        sink = Collector(sim)
+        send_packets(sim, q, sink, 2)   # 1 accepted, 1 dropped
+        sim.run()
+        meter = LossMeter([q])
+        q.reset_counters()              # e.g. a warmup re-baseline
+        send_packets(sim, q, sink, 4)   # 1 accepted, 3 dropped
+        sim.run()
+        (rate,) = meter.loss_rates()
+        assert rate == pytest.approx(0.75)
+
     def test_smaller_packets_serve_faster(self):
         sim = Simulation()
         q = DropTailQueue(sim, rate_pps=10.0, capacity=10, jitter=0.0)

@@ -140,8 +140,9 @@ class TestSenderRecoveryInternals:
         ack = AckPacket((sender,), flow=sender, ack_seq=0, echo_timestamp=0.0,
                         sack_blocks=((4, 6), (8, 9)))
         sender.receive(ack)
-        assert 4 in sender._sacked and 5 in sender._sacked and 8 in sender._sacked
-        assert 6 not in sender._sacked
+        sb = sender._sb
+        assert sb.is_sacked(4) and sb.is_sacked(5) and sb.is_sacked(8)
+        assert not sb.is_sacked(6)
 
     def test_loss_detection_marks_holes_below_three_sacked(self, sim):
         sender, _ = self._sender(sim)
@@ -155,7 +156,7 @@ class TestSenderRecoveryInternals:
                                      echo_timestamp=0.0, sack_blocks=blocks))
         assert sender.in_recovery
         # seqs 1..4 have sacked 5,6,7 above; seq 0 was fast-retransmitted.
-        assert {1, 2, 3, 4}.issubset(sender._lost | sender._rtx)
+        assert {1, 2, 3, 4}.issubset(sender._sb.lost_set() | sender._sb.rtx_set())
 
     def test_rto_collapses_window_and_rewinds(self, sim):
         sender, _ = self._sender(sim)
@@ -177,7 +178,7 @@ class TestSenderRecoveryInternals:
         sender.cwnd = 4.0
         sender.highest_sent = sender.max_seq_sent = 10
         sender.last_acked = 0
-        sender._sacked.add(1, 3)   # receiver already holds 1 and 2
+        sender._sb.mark_sacked(1, 3)   # receiver already holds 1 and 2
         sent_before = sender.packets_sent
         sender._on_timeout()
         # seq 0 and 3 transmitted; 1-2 skipped without transmission
@@ -236,9 +237,9 @@ class TestKarnRttSampling:
     def test_retransmit_registers_pending_ambiguity(self, sim):
         sender = self._sender(sim)
         sender._transmit(3, None, is_retransmit=True)
-        assert 3 in sender._retx_pending
+        assert sender._sb.is_retx(3)
         sender._transmit(4, None, is_retransmit=False)
-        assert 4 not in sender._retx_pending
+        assert not sender._sb.is_retx(4)
 
     def test_ack_flagged_for_retransmit_is_not_sampled(self, sim):
         sender = self._sender(sim)
@@ -252,11 +253,11 @@ class TestKarnRttSampling:
         sender = self._sender(sim)
         sender.running = True
         sender.highest_sent = sender.max_seq_sent = 4
-        sender._retx_pending.add(0)
+        sender._sb.mark_retx(0)
         sender.receive(AckPacket((sender,), flow=sender, ack_seq=4,
                                  echo_timestamp=0.0))
         assert sender.rtt.srtt is None
-        assert sender._retx_pending == set()   # ambiguity consumed
+        assert sender._sb.retx_set() == set()  # ambiguity consumed
 
     def test_rto_does_not_collapse_below_true_path_rtt(self, sim):
         """The bug this guards against: after an RTO the retransmitted
@@ -268,7 +269,7 @@ class TestKarnRttSampling:
         sender.running = True
         sender.highest_sent = sender.max_seq_sent = 4
         sender.rtt.back_off()            # an RTO has fired
-        sender._retx_pending.add(0)      # ...and seq 0 was resent
+        sender._sb.mark_retx(0)          # ...and seq 0 was resent
         sim.run_until(0.6)
         # Cumulative ACK covering the retransmit, apparent RTT of 10 ms.
         sender.receive(AckPacket((sender,), flow=sender, ack_seq=4,
@@ -281,7 +282,7 @@ class TestKarnRttSampling:
         sender = self._sender(sim)
         sender.running = True
         sender.highest_sent = sender.max_seq_sent = 6
-        sender._retx_pending.add(2)
+        sender._sb.mark_retx(2)
         # ACK up to 2: does not cover the retransmitted seq — sampled.
         sim.run_until(0.1)
         sender.receive(AckPacket((sender,), flow=sender, ack_seq=2,

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Regenerate the golden-equivalence documents under tests/golden/.
+
+Usage:
+    PYTHONPATH=src python tools/regen_goldens.py [grid ...]
+
+With no arguments every grid in ``repro.exp.golden.GOLDEN_SETTINGS`` is
+regenerated; naming grids restricts the run.  Regeneration is a
+deliberate act: it rebases what "bit-identical" means for every later
+rewrite, so do it only when a PR intentionally changes observable
+behaviour, and say why in the PR description (see
+docs/REPRODUCTION_NOTES.md, "Golden equivalence").
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.exp.golden import compute_golden, golden_grid_names
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "tests" / "golden" / "equivalence"
+
+
+def main(argv=None) -> int:
+    names = list(argv if argv is not None else sys.argv[1:])
+    known = golden_grid_names()
+    if not names:
+        names = known
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        print(f"unknown grid(s): {', '.join(unknown)}; known: {', '.join(known)}")
+        return 2
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        start = time.perf_counter()
+        doc = compute_golden(name)
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+        wall = time.perf_counter() - start
+        print(
+            f"{name}: {len(doc['points'])} points, "
+            f"{sum(p['trace_records'] for p in doc['points'])} trace records, "
+            f"{wall:.1f}s -> {path.relative_to(GOLDEN_DIR.parent.parent.parent)}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
