@@ -17,6 +17,12 @@
 #                    result cache, progress trace validated
 #   make pathmgr-test  path-management tests only (pytest -m pathmgr)
 #   make hybrid-test hybrid flow-class tier tests only (pytest -m hybrid)
+#   make farm-test   distributed-farm tests only (pytest -m farm):
+#                    broker/worker/lease layer, crash-resume properties
+#   make farm-demo   2-worker farm over demo_rtt with an injected
+#                    worker SIGKILL mid-lease, resumed and gated on the
+#                    resumed rows being bit-identical to a serial run
+#                    — see docs/RUNNER.md
 #   make handover-demo scripted WiFi→3G handover (§5 mobility) under the
 #                    invariant monitor, pathmgr trace validated against
 #                    the schema — see docs/PATH_MANAGEMENT.md
@@ -33,6 +39,7 @@ SWEEP_CACHE ?= .sweep-demo-cache
 BENCH_OUT ?= BENCH_pr4.json
 
 .PHONY: test obs-test sweep-test check-test pathmgr-test hybrid-test \
+	farm-test farm-demo \
 	bench bench-gate bench-smoke bench-baseline trace-demo sweep-demo \
 	handover-demo docs-check
 
@@ -53,6 +60,13 @@ pathmgr-test:
 
 hybrid-test:
 	$(PP) $(PYTHON) -m pytest -m hybrid -q
+
+farm-test:
+	$(PP) $(PYTHON) -m pytest -m farm -q
+
+farm-demo:
+	$(PP) $(PYTHON) -m pytest -m farm -q \
+		"tests/test_farm.py::TestCrashResume::test_worker_sigkill_mid_lease_then_resume_bit_identical[demo_rtt]"
 
 bench:
 	$(PP) $(PYTHON) -m pytest benchmarks/ --benchmark-only

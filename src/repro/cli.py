@@ -22,6 +22,12 @@ Parameter sweeps over worker processes (see docs/RUNNER.md):
     python -m repro sweep fig16_rtt --parallel 4
     python -m repro sweep demo_rtt --parallel 2 --trace sweep.jsonl
 
+Distributed, crash-resumable farm execution (see docs/RUNNER.md):
+
+    python -m repro farm serve fig16_rtt --root /shared/farm --workers 2
+    python -m repro farm work /shared/farm          # on any other host
+    python -m repro farm status /shared/farm
+
 Invariant-checked (optionally fault-injected) runs (see docs/CHECKING.md):
 
     python -m repro check --scenario torus_balance --fault link_flap --seed 1
@@ -247,6 +253,64 @@ def _cmd_sweep(args) -> int:
             json.dump(rows, fh, indent=2)
         print(f"wrote {len(rows)} rows to {args.out}")
     return 0
+
+
+def _cmd_farm_serve(args) -> int:
+    from .farm import run_farm
+
+    specs = specs_for_grid(
+        args.grid, seed=args.seed, warmup=args.warmup, duration=args.duration
+    )
+    from .exp.spec import TaskSpec
+
+    tasks = [TaskSpec(index=i, spec=s) for i, s in enumerate(specs)]
+    bus = None
+    if args.trace:
+        bus = TraceBus(sinks=[JsonlSink(args.trace)])
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    try:
+        broker = run_farm(
+            tasks, args.root, workers=args.workers, cache=cache, trace=bus,
+            max_failures=args.retries, lease_ttl=args.lease_ttl,
+        )
+        rows = [broker.raw[t.index] for t in tasks]
+    finally:
+        if bus is not None:
+            bus.close()
+    print(
+        f"farm complete: {len(rows)} rows ({args.grid}) in {args.root}; "
+        f"executed={broker.executed}, store_hits={broker.store_hits}, "
+        f"requeued={broker.requeued}"
+    )
+    print(f"rows: {args.root}/rows.jsonl")
+    return 0
+
+
+def _cmd_farm_work(args) -> int:
+    from .farm import work
+
+    processed = work(
+        args.root, worker_id=args.id, lease_ttl=args.lease_ttl,
+        max_tasks=args.max_tasks, idle_timeout=args.idle_timeout,
+    )
+    print(f"worker done: {processed} task(s) processed")
+    return 0
+
+
+def _cmd_farm_status(args) -> int:
+    from .farm import FarmError, farm_status
+
+    try:
+        status = farm_status(args.root)
+    except FarmError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    table = Table(["quantity", "value"])
+    for key in ("state", "tasks", "done", "queued", "leased", "executed",
+                "failures"):
+        table.add_row([key, status[key]])
+    print(table.render(f"farm {args.root}"))
+    return 0 if status["state"] != "failed" else 1
 
 
 #: Required-parameter defaults so ``repro check --scenario X`` runs without
@@ -549,6 +613,64 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="write result rows to this JSON file")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "farm",
+        help="distributed, crash-resumable grid execution over a shared "
+             "farm directory (see docs/RUNNER.md)",
+    )
+    farm_sub = p.add_subparsers(dest="farm_command", required=True)
+
+    fp = farm_sub.add_parser(
+        "serve",
+        help="serve a named grid into a farm directory, spawn local "
+             "workers, aggregate rows (resumes if interrupted)",
+    )
+    fp.add_argument("grid", choices=sorted(SWEEP_GRIDS),
+                    help="named grid (see 'repro sweep --list')")
+    fp.add_argument("--root", required=True,
+                    help="farm directory (shared filesystem for "
+                         "multi-host runs)")
+    fp.add_argument("--workers", type=int, default=1,
+                    help="local worker processes to spawn (default 1; "
+                         "0 = broker only, workers join from elsewhere)")
+    fp.add_argument("--cache-dir", default=".sweep-cache",
+                    help="shared result cache (default .sweep-cache)")
+    fp.add_argument("--no-cache", action="store_true",
+                    help="store results inside the farm directory only")
+    fp.add_argument("--retries", type=int, default=1,
+                    help="failed attempts tolerated per point (default 1)")
+    fp.add_argument("--lease-ttl", type=float, default=15.0,
+                    help="worker lease heartbeat deadline, seconds")
+    fp.add_argument("--seed", type=int, default=None,
+                    help="override the grid's base seed")
+    fp.add_argument("--warmup", type=float, default=None,
+                    help="override the grid's warm-up, simulated seconds")
+    fp.add_argument("--duration", type=float, default=None,
+                    help="override the grid's measurement window, "
+                         "simulated seconds")
+    fp.add_argument("--trace", default=None,
+                    help="write farm.* progress events to this JSONL file")
+    fp.set_defaults(func=_cmd_farm_serve)
+
+    fp = farm_sub.add_parser(
+        "work", help="run one worker against a farm directory"
+    )
+    fp.add_argument("root", help="farm directory")
+    fp.add_argument("--id", default=None,
+                    help="worker id (default <hostname>-<pid>)")
+    fp.add_argument("--lease-ttl", type=float, default=15.0)
+    fp.add_argument("--max-tasks", type=int, default=None,
+                    help="exit after this many tasks")
+    fp.add_argument("--idle-timeout", type=float, default=None,
+                    help="exit after this long without work, seconds")
+    fp.set_defaults(func=_cmd_farm_work)
+
+    fp = farm_sub.add_parser(
+        "status", help="summarise a farm directory's progress"
+    )
+    fp.add_argument("root", help="farm directory")
+    fp.set_defaults(func=_cmd_farm_status)
 
     p = sub.add_parser(
         "check",

@@ -84,6 +84,16 @@ class ResultCache:
     def _path(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def contains(self, key: str) -> bool:
+        """Whether an entry exists for ``key`` (without reading it).
+
+        A cheap existence probe for coordination layers (the farm broker
+        treats cache presence as completion authority); the entry may
+        still read as a miss if corrupt — callers must handle
+        :meth:`load` returning ``None``.
+        """
+        return self._path(key).is_file()
+
     # ------------------------------------------------------------------
     def load(self, key: str) -> Optional[Dict[str, Any]]:
         """The cached result row for ``key``, or ``None``.

@@ -16,6 +16,12 @@ grid points into result rows using every core available:
   worker process (``BrokenProcessPool``) degrades the affected points to
   the serial path without consuming their retry budget.  Tasks that
   cannot be pickled never reach the pool and run serially.
+* **Farm execution** — with ``farm=`` pointing at a farm directory the
+  picklable points run through the :mod:`repro.farm` broker/worker layer
+  instead of a local pool: ``parallel`` local worker processes are
+  spawned, rows are published through the shared content-addressed
+  result store, and an interrupted grid resumes from the same directory
+  bit-identically (see ``docs/RUNNER.md``).
 * **Deterministic aggregation** — output row *i* always corresponds to
   grid point *i*, whatever order workers finish in, and rows are
   canonicalised through JSON so cold runs, warm-cache reruns and any
@@ -86,12 +92,24 @@ class Runner:
         events (``None`` disables reporting).
     timeout:
         Per-task wall-clock timeout in seconds, enforced on pool
-        execution (a task gets at least ``timeout`` seconds once the
-        runner starts waiting on it).  The serial path cannot preempt a
-        running simulation, so timed-out tasks retry without a timeout.
+        execution as a *submission deadline*: every pool task must finish
+        within ``timeout`` seconds of being submitted, and the runner
+        waits on whichever deadline expires first rather than on tasks in
+        submission order (one stuck point can no longer stall the grid
+        for N×timeout).  Tasks queued behind a full pool share the same
+        clock, so pick a timeout that covers expected queueing.  The
+        serial path cannot preempt a running simulation, so timed-out
+        tasks retry without a timeout.
     retries:
         Failed attempts tolerated per task beyond which :class:`TaskError`
         is raised.  Worker-process death does not consume this budget.
+    farm:
+        A farm directory path (or ``None``).  When set, picklable tasks
+        execute through the :mod:`repro.farm` broker with ``parallel``
+        locally spawned worker processes and ``retries`` as the per-task
+        failure budget; the directory holds the persistent queue, so an
+        interrupted run resumed with the same ``farm=`` continues where
+        it stopped.
 
     After :meth:`run` the counters ``executed`` (simulations actually
     run), ``cache_hits``, ``retried`` (retry attempts started), and
@@ -105,6 +123,7 @@ class Runner:
         trace=None,
         timeout: Optional[float] = None,
         retries: int = 1,
+        farm=None,
     ):
         if parallel < 1:
             raise ValueError(f"parallel must be >= 1, got {parallel}")
@@ -115,6 +134,7 @@ class Runner:
         self.trace = NULL_TRACE if trace is None else trace
         self.timeout = timeout
         self.retries = retries
+        self.farm = farm
         self.executed = 0
         self.cache_hits = 0
         self.retried = 0
@@ -142,7 +162,13 @@ class Runner:
 
         pool_tasks: List[TaskSpec] = []
         serial_tasks: List[TaskSpec] = []
-        if self.parallel > 1 and len(compute) > 1:
+        if self.farm is not None and compute:
+            for task in compute:
+                (pool_tasks if _picklable(task) else serial_tasks).append(task)
+            if pool_tasks:
+                self._run_farm(pool_tasks, raw, computed)
+            pool_tasks = []
+        elif self.parallel > 1 and len(compute) > 1:
             for task in compute:
                 (pool_tasks if _picklable(task) else serial_tasks).append(task)
         else:
@@ -177,11 +203,45 @@ class Runner:
             compute.append(task)
         return compute
 
+    def _run_farm(self, tasks, raw, computed):
+        """Execute tasks through the :mod:`repro.farm` broker/worker layer.
+
+        The broker owns a persistent queue under ``self.farm``; rows are
+        published through the shared content-addressed result store, so a
+        previously interrupted run over the same directory resumes
+        instead of recomputing.  Farm rows are canonicalised through the
+        same JSON round-trip as pool/serial rows, keeping the
+        bit-identical aggregation guarantee.
+        """
+        from ..farm import run_farm
+
+        broker = run_farm(
+            tasks,
+            self.farm,
+            workers=self.parallel,
+            cache=self.cache,
+            trace=None if not self.trace.enabled else self.trace,
+            t0=self._t0,
+            max_failures=self.retries,
+        )
+        for task in tasks:
+            raw[task.index] = broker.raw[task.index]
+            computed.add(task.index)
+        self.executed += broker.executed
+        self.cache_hits += broker.store_hits
+        self.retried += broker.requeued
+
     def _run_pool(self, tasks, raw, keys, computed):
         """First attempt of every picklable task on the process pool.
 
         Returns ``(task, next_attempt, failures)`` triples for tasks that
         must fall back to the serial path.
+
+        Waiting is deadline-based: each future carries a deadline of
+        ``submit time + timeout`` and the runner always waits on the
+        earliest pending deadline (``concurrent.futures.wait``), so one
+        stuck task delays the grid by at most ``timeout`` — not by
+        ``timeout`` per queued task as the old submission-order wait did.
         """
         try:
             executor = concurrent.futures.ProcessPoolExecutor(
@@ -194,40 +254,90 @@ class Runner:
         degraded: List[Tuple[TaskSpec, int, int]] = []
         abandon_pool = False
         try:
-            futures = {}
+            futures: Dict[concurrent.futures.Future, TaskSpec] = {}
+            deadlines: Dict[concurrent.futures.Future, float] = {}
             for task in tasks:
-                futures[task.index] = executor.submit(_execute_in_worker, task)
+                fut = executor.submit(_execute_in_worker, task)
+                futures[fut] = task
+                if self.timeout is not None:
+                    deadlines[fut] = time.monotonic() + self.timeout
                 self._emit("exp.task_start", task=task.index,
                            target=task.target(), attempt=1,
                            key=keys[task.index])
-            for task in tasks:
-                fut = futures[task.index]
-                try:
-                    wall, row = fut.result(timeout=self.timeout)
-                except concurrent.futures.TimeoutError:
+            pending = set(futures)
+            while pending:
+                wait_for = None
+                if self.timeout is not None:
+                    wait_for = max(
+                        0.0,
+                        min(deadlines[f] for f in pending) - time.monotonic(),
+                    )
+                done, pending = concurrent.futures.wait(
+                    pending, timeout=wait_for,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for fut in sorted(done, key=lambda f: futures[f].index):
+                    task = futures[fut]
+                    try:
+                        wall, row = fut.result()
+                    except BrokenProcessPool:
+                        abandon_pool = True
+                        self._note_retry(task, keys, attempt=1,
+                                         reason="worker_died")
+                        degraded.append((task, 2, 0))
+                    except Exception as exc:
+                        self._note_retry(task, keys, attempt=1,
+                                         reason=f"{type(exc).__name__}: {exc}")
+                        degraded.append((task, 2, 1))
+                    else:
+                        self._record(task, row, raw, keys, computed)
+                        self.executed += 1
+                        self._emit("exp.task_done", task=task.index,
+                                   attempt=1, wall=wall,
+                                   key=keys[task.index])
+                if self.timeout is None or not pending:
+                    continue
+                now = time.monotonic()
+                expired = sorted(
+                    (f for f in pending if deadlines[f] <= now),
+                    key=lambda f: futures[f].index,
+                )
+                for fut in expired:
+                    if not fut.cancel() and fut.done():
+                        # Completed in the race window between wait() and
+                        # the deadline sweep: harvest it next iteration.
+                        continue
+                    task = futures[fut]
+                    pending.discard(fut)
                     abandon_pool = True
-                    fut.cancel()
                     self._note_retry(task, keys, attempt=1, reason="timeout")
                     degraded.append((task, 2, 1))
-                except BrokenProcessPool:
-                    abandon_pool = True
-                    self._note_retry(task, keys, attempt=1,
-                                     reason="worker_died")
-                    degraded.append((task, 2, 0))
-                except Exception as exc:
-                    self._note_retry(task, keys, attempt=1,
-                                     reason=f"{type(exc).__name__}: {exc}")
-                    degraded.append((task, 2, 1))
-                else:
-                    self._record(task, row, raw, keys, computed)
-                    self.executed += 1
-                    self._emit("exp.task_done", task=task.index, attempt=1,
-                               wall=wall, key=keys[task.index])
         finally:
             # A stuck or dead worker must not hold the runner hostage:
-            # leave timed-out tasks behind rather than joining them.
+            # leave timed-out tasks behind rather than joining them — but
+            # reap the orphaned worker processes instead of leaking them.
+            orphans = []
+            if abandon_pool:
+                orphans = list(
+                    (getattr(executor, "_processes", None) or {}).values()
+                )
             executor.shutdown(wait=not abandon_pool,
                               cancel_futures=abandon_pool)
+            if abandon_pool:
+                reaped = 0
+                for proc in orphans:
+                    try:
+                        if proc.is_alive():
+                            proc.kill()
+                            reaped += 1
+                    except (OSError, ValueError):
+                        pass
+                for proc in orphans:
+                    try:
+                        proc.join(timeout=1.0)
+                    except (OSError, ValueError, AssertionError):
+                        pass
+                self._emit("exp.pool_abandoned", reaped=reaped)
         return degraded
 
     def _run_serial(self, task, raw, keys, computed, attempt, failures):
@@ -249,6 +359,10 @@ class Runner:
             except Exception as exc:
                 failures += 1
                 if failures > self.retries:
+                    self._emit("exp.task_failed", task=task.index,
+                               attempt=attempt, failures=failures,
+                               reason=f"{type(exc).__name__}: {exc}",
+                               key=keys[task.index])
                     raise TaskError(task, failures, exc) from exc
                 self._note_retry(task, keys, attempt,
                                  reason=f"{type(exc).__name__}: {exc}")

@@ -1,0 +1,44 @@
+"""Distributed, resumable experiment farm.
+
+The full controller-zoo × topology × fault matrix is 10^5–10^6 cacheable
+points — beyond one ``ProcessPoolExecutor``.  The farm splits the
+:class:`~repro.exp.runner.Runner`'s execution layer into three pieces
+that survive crashes independently:
+
+* a **broker** (:class:`~repro.farm.broker.Broker`) owns a persistent
+  work queue under one *farm directory*: pickled task files, claim
+  tokens, a lease table with heartbeat/expiry, and an append-only
+  journal used for failure budgets and observability;
+* **workers** (:mod:`repro.farm.worker`, spawnable on any host that can
+  see the farm directory) lease tasks via atomic rename, execute them
+  through the existing :func:`~repro.exp.spec.execute_task`, and publish
+  rows through the shared content-addressed
+  :class:`~repro.exp.cache.ResultCache` — already atomic and
+  corrupt-tolerant, so it is the farm's result store for free;
+* a **streaming aggregator** folds rows in deterministic grid order as
+  they land.
+
+Because every task is a seeded, deterministic simulation and the result
+store is content-addressed, duplicate execution is harmless and
+*completion authority is cache presence*: a grid interrupted at any
+point (worker SIGKILL, broker SIGKILL, power loss) and resumed over the
+same directory produces rows bit-identical to an uninterrupted serial
+:class:`~repro.exp.runner.Runner` run.  See ``docs/RUNNER.md``.
+"""
+
+from .broker import Broker, FarmError, farm_status, run_farm
+from .layout import FarmLayout
+
+__all__ = ["Broker", "FarmError", "FarmLayout", "farm_status", "run_farm",
+           "work"]
+
+
+def __getattr__(name):
+    # Lazy: ``python -m repro.farm.worker`` (the worker entry point)
+    # imports this package first, and an eager ``from .worker import
+    # work`` here would trip runpy's double-import warning.
+    if name == "work":
+        from .worker import work
+
+        return work
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,560 @@
+"""Farm broker: persistent queue, lease expiry, budgets, aggregation.
+
+The broker is the only process that *decides* anything — workers just
+execute.  Its responsibilities:
+
+* **serve** — materialise the grid into the farm directory (pickled
+  task files + one queue token per point), or *resume*: verify the
+  directory holds the same grid (content keys must match) and replay
+  the journal to restore per-task failure counts;
+* **lease expiry** — a lease whose heartbeat deadline passed means a
+  dead or wedged worker: journal ``expired``, count a failure, requeue
+  with exponential backoff (``backoff × 2^(failures-1)``, capped);
+* **failure budget** — a task failing (raise or expiry) more than
+  ``max_failures`` times marks the farm ``FAILED`` and raises
+  :exc:`~repro.exp.runner.TaskError`, mirroring the serial runner;
+* **completion authority** — a task is done iff its row loads from the
+  content-addressed store.  The journal only informs budgets and
+  observability; a journal lost or truncated mid-run costs retried
+  bookkeeping, never correctness;
+* **self-healing** — a periodic reconcile scan re-enqueues any task
+  that is not done yet has no token, no lease and no pending backoff
+  (the crash windows: a worker killed between claim and heartbeat, a
+  broker killed between unlink and requeue);
+* **aggregation** — rows are folded in grid order into ``rows.jsonl``
+  as they land, and exposed as ``broker.raw`` for the
+  :class:`~repro.exp.runner.Runner`'s farm path.
+
+Determinism: tasks are seeded specs, rows are canonicalised through the
+same JSON round-trip as ``Runner._record``, and aggregation follows grid
+index — so an interrupted-and-resumed farm run is bit-identical to an
+uninterrupted serial run.
+
+``python -m repro.farm.broker <root>`` serves a previously initialised
+farm directory (used by the crash-resume tests to SIGKILL a live
+broker); ``repro farm serve`` is the user-facing entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..exp.cache import ResultCache
+from ..exp.spec import TaskSpec
+from ..harness.sweep import merge_row
+from ..obs.trace import NULL_TRACE
+from .layout import FarmLayout
+
+__all__ = ["Broker", "FarmError", "run_farm", "farm_status"]
+
+DEFAULT_LEASE_TTL = 15.0
+DEFAULT_BACKOFF = 0.25
+MAX_BACKOFF = 30.0
+DEFAULT_POLL = 0.05
+RECONCILE_EVERY = 1.0
+
+
+class FarmError(RuntimeError):
+    """The farm directory disagrees with the grid being served."""
+
+
+class _Aggregator:
+    """Streams rows to ``rows.jsonl`` in grid order as they land."""
+
+    def __init__(self, layout: FarmLayout, params: Dict[int, dict]):
+        self._layout = layout
+        self._params = params
+        self._pending: Dict[int, dict] = {}
+        self._next = 0
+        self._fh = open(layout.rows_path, "w", encoding="utf-8")
+
+    def add(self, index: int, row: dict) -> None:
+        self._pending[index] = row
+        while self._next in self._pending:
+            raw = self._pending.pop(self._next)
+            merged = merge_row(dict(self._params[self._next]), raw)
+            self._fh.write(json.dumps(merged) + "\n")
+            self._fh.flush()
+            self._next += 1
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+class Broker:
+    """Owns one farm directory: queue, leases, budgets, aggregation.
+
+    Parameters
+    ----------
+    root:
+        The farm directory.  Passing ``tasks`` initialises it (or
+        resumes if it already holds the *same* grid — verified by
+        content keys); ``tasks=None`` resumes from disk alone.
+    cache:
+        Shared :class:`ResultCache` used as the result store; ``None``
+        uses (or creates) ``<root>/results``.
+    trace / t0:
+        Optional :class:`~repro.obs.trace.TraceBus` for ``farm.*``
+        events; ``t0`` is the monotonic origin for their wall-clock
+        ``t`` field (so events share the owning runner's clock).
+    max_failures:
+        Failed attempts (raises + lease expiries) tolerated per task
+        before the farm fails, mirroring ``Runner(retries=...)``.
+    lease_ttl / backoff / poll:
+        Heartbeat deadline horizon, base requeue delay, and scan
+        interval, in seconds.
+
+    After :meth:`run`: ``raw`` maps grid index to canonical row;
+    ``executed`` counts ``done`` journal records observed this run,
+    ``store_hits`` counts rows already in the store at serve time, and
+    ``requeued`` counts requeues issued this run.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, os.PathLike],
+        tasks: Optional[Sequence[TaskSpec]] = None,
+        cache: Optional[ResultCache] = None,
+        trace=None,
+        t0: Optional[float] = None,
+        max_failures: int = 1,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        backoff: float = DEFAULT_BACKOFF,
+        poll: float = DEFAULT_POLL,
+    ):
+        self.layout = FarmLayout(root)
+        self.trace = NULL_TRACE if trace is None else trace
+        self._t0 = time.monotonic() if t0 is None else t0
+        self.max_failures = max_failures
+        self.lease_ttl = lease_ttl
+        self.backoff = backoff
+        self.poll = poll
+
+        self.raw: Dict[int, dict] = {}
+        self.executed = 0
+        self.store_hits = 0
+        self.requeued = 0
+
+        self._keys: Dict[int, str] = {}
+        self._params: Dict[int, dict] = {}
+        self._failures: Dict[int, int] = {}
+        self._delayed: Dict[int, float] = {}  # index -> monotonic due time
+        self._last_reason: Dict[int, str] = {}
+        self._done: set = set()
+        self._journal_offset = 0
+        self._lease_grace: Dict[int, float] = {}  # unparsable-lease grace
+        self._aggregator: Optional[_Aggregator] = None
+
+        external = cache is not None
+        self.store = cache if external else ResultCache(self.layout.results_dir)
+        if tasks is not None:
+            self._serve(tasks, external)
+        else:
+            self._resume()
+
+    # -- initialisation -----------------------------------------------
+    def _serve(self, tasks: Sequence[TaskSpec], external: bool) -> None:
+        tasks = sorted(tasks, key=lambda t: t.index)
+        keys = [self.store.key(task) for task in tasks]
+        manifest = self.layout.read_manifest()
+        if manifest is not None:
+            if manifest.get("keys") != keys:
+                raise FarmError(
+                    f"farm root {self.layout.root} contains a different "
+                    f"grid ({manifest.get('tasks')} task(s), keys differ); "
+                    "point the farm at a fresh directory or resume with "
+                    "the original grid"
+                )
+            # Same grid: this is a resume with the specs in hand.
+            for task, key in zip(tasks, keys):
+                self._keys[task.index] = key
+                self._params[task.index] = dict(task.spec.params)
+            self._replay_journal()
+            self.layout.clear_markers()
+            return
+        self.layout.create_dirs()
+        store_path = (str(pathlib.Path(self.store.root).resolve())
+                      if external else None)
+        self.layout.write_manifest(keys, store=store_path)
+        for task, key in zip(tasks, keys):
+            self._keys[task.index] = key
+            self._params[task.index] = dict(task.spec.params)
+            self.layout.write_task(task, key)
+            self.layout.enqueue(task.index, attempt=1)
+            self.layout.journal("enqueue", task=task.index, attempt=1,
+                                key=key)
+            self._emit("farm.enqueue", task=task.index, attempt=1, key=key)
+
+    def _resume(self) -> None:
+        manifest = self.layout.read_manifest()
+        if manifest is None:
+            raise FarmError(
+                f"{self.layout.root} is not an initialised farm directory "
+                "(no readable manifest); serve a grid into it first"
+            )
+        for index, key in enumerate(manifest["keys"]):
+            self._keys[index] = key
+            entry = self.layout.read_task(index)
+            self._params[index] = dict(entry["task"].spec.params)
+        self._replay_journal()
+        self.layout.clear_markers()
+
+    def _replay_journal(self) -> None:
+        """Restore failure budgets from the journal (backoffs restart)."""
+        records, self._journal_offset = self.layout.read_journal(0)
+        for record in records:
+            if record.get("op") in ("failed", "expired"):
+                task = record.get("task")
+                if isinstance(task, int):
+                    self._failures[task] = self._failures.get(task, 0) + 1
+                    reason = record.get("reason")
+                    if isinstance(reason, str):
+                        self._last_reason[task] = reason
+
+    # -- main loop -----------------------------------------------------
+    def run(self) -> List[dict]:
+        """Drive the farm to completion; returns merged rows in grid
+        order.
+
+        Raises :exc:`~repro.exp.runner.TaskError` when a task exhausts
+        its failure budget (after marking the farm ``FAILED`` so workers
+        stop).
+        """
+        total = len(self._keys)
+        self._aggregator = _Aggregator(self.layout, self._params)
+        try:
+            self._scan_store(initial=True)
+            self._emit("farm.serve", tasks=total, done=len(self._done),
+                       leased=len(self.layout.leases()),
+                       queued=len(self.layout.queued_tasks()),
+                       delayed=len(self._delayed))
+            start = time.monotonic()
+            last_reconcile = 0.0
+            while len(self._done) < total:
+                self._drain_journal()
+                self._expire_leases()
+                self._release_delayed()
+                now = time.monotonic()
+                if now - last_reconcile >= RECONCILE_EVERY:
+                    self._reconcile()
+                    last_reconcile = now
+                if len(self._done) < total:
+                    time.sleep(self.poll)
+        finally:
+            self._aggregator.close()
+            self._aggregator = None
+        self.layout.journal("complete", rows=total, executed=self.executed,
+                            store_hits=self.store_hits)
+        self.layout.mark("done")
+        wall = time.monotonic() - start
+        self._emit("farm.complete", rows=total, executed=self.executed,
+                   store_hits=self.store_hits, wall=wall)
+        return [merge_row(dict(self._params[index]), self.raw[index])
+                for index in sorted(self._keys)]
+
+    # -- completion ----------------------------------------------------
+    def _scan_store(self, initial: bool = False) -> None:
+        """Mark every task whose row is already in the store as done."""
+        for index in self._keys:
+            if self._complete(index) and initial:
+                self.store_hits += 1
+
+    def _complete(self, index: int) -> bool:
+        """Load the row for ``index`` from the store; done iff it reads."""
+        if index in self._done:
+            return True
+        row = self.store.load(self._keys[index])
+        if row is None:
+            return False
+        self.raw[index] = row
+        self._done.add(index)
+        self._delayed.pop(index, None)
+        if self._aggregator is not None:
+            self._aggregator.add(index, row)
+        return True
+
+    # -- journal consumption ------------------------------------------
+    def _drain_journal(self) -> None:
+        records, self._journal_offset = self.layout.read_journal(
+            self._journal_offset)
+        for record in records:
+            op = record.get("op")
+            task = record.get("task")
+            if not isinstance(task, int) or task not in self._keys:
+                continue
+            worker = str(record.get("worker", "?"))
+            if op == "lease":
+                self._emit("farm.lease", task=task, worker=worker,
+                           attempt=int(record.get("attempt", 1)))
+            elif op == "done":
+                if self._complete(task):
+                    self.executed += 1
+                    self._emit("farm.task_done", task=task, worker=worker,
+                               wall=float(record.get("wall", 0.0)),
+                               key=self._keys[task])
+                # else: journal says done but the store entry is
+                # unreadable — reconcile will requeue it.
+            elif op == "failed":
+                self._count_failure(
+                    task, str(record.get("reason", "unknown")))
+                self._emit("farm.task_failed", task=task, worker=worker,
+                           reason=str(record.get("reason", "unknown")),
+                           failures=self._failures[task])
+
+    # -- failure handling ---------------------------------------------
+    def _count_failure(self, index: int, reason: str) -> None:
+        self._failures[index] = self._failures.get(index, 0) + 1
+        self._last_reason[index] = reason
+        failures = self._failures[index]
+        if failures > self.max_failures:
+            self._exhaust(index, failures)
+        delay = min(self.backoff * (2 ** (failures - 1)), MAX_BACKOFF)
+        self._delayed[index] = time.monotonic() + delay
+        self.layout.journal("requeue", task=index, failures=failures,
+                            delay=delay)
+        self._emit("farm.requeue", task=index, failures=failures,
+                   delay=delay)
+
+    def _exhaust(self, index: int, failures: int) -> None:
+        from ..exp.runner import TaskError
+
+        self.layout.journal("exhausted", task=index, failures=failures)
+        self._emit("farm.exhausted", task=index, failures=failures)
+        reason = self._last_reason.get(index, "unknown")
+        self.layout.mark("failed",
+                         f"task {index} failed {failures} time(s): {reason}\n")
+        entry = self.layout.read_task(index)
+        raise TaskError(entry["task"], failures, RuntimeError(reason))
+
+    # -- lease expiry --------------------------------------------------
+    def _expire_leases(self) -> None:
+        now = time.time()
+        mono = time.monotonic()
+        live = set()
+        for index, record in self.layout.leases():
+            live.add(index)
+            deadline = record.get("deadline")
+            if not isinstance(deadline, (int, float)):
+                # Claim-to-rewrite race window or torn heartbeat: grant
+                # one ttl of grace from first sighting.
+                grace = self._lease_grace.setdefault(index,
+                                                     mono + self.lease_ttl)
+                if mono < grace:
+                    continue
+            elif deadline > now:
+                self._lease_grace.pop(index, None)
+                continue
+            self._lease_grace.pop(index, None)
+            if (self._complete(index)
+                    or index in self.layout.queued_tasks()
+                    or index in self._delayed):
+                # Stale lease for a task that moved on (e.g. a worker
+                # journalled "failed" then died before releasing): drop
+                # it without charging a second failure.
+                self.layout.release_lease(index)
+                continue
+            worker = record.get("worker")
+            self.layout.release_lease(index)
+            self.layout.journal("expired", task=index, worker=worker,
+                                reason="lease expired")
+            self._emit("farm.lease_expired", task=index,
+                       worker=worker if isinstance(worker, str) else None,
+                       failures=self._failures.get(index, 0) + 1)
+            self._count_failure(index, "lease expired")
+        for index in list(self._lease_grace):
+            if index not in live:
+                del self._lease_grace[index]
+
+    # -- requeue / reconcile ------------------------------------------
+    def _release_delayed(self) -> None:
+        now = time.monotonic()
+        for index, due in list(self._delayed.items()):
+            if due > now:
+                continue
+            del self._delayed[index]
+            if self._complete(index):
+                continue
+            attempt = self._failures.get(index, 0) + 1
+            self.layout.enqueue(index, attempt=attempt)
+            self.layout.journal("enqueue", task=index, attempt=attempt,
+                                key=self._keys[index])
+            self._emit("farm.enqueue", task=index, attempt=attempt,
+                       key=self._keys[index])
+            self.requeued += 1
+
+    def _reconcile(self) -> None:
+        """Re-enqueue tasks lost in crash windows.
+
+        A task that is not done, holds no queue token, no lease and no
+        pending backoff is unreachable — nothing will ever run it.  That
+        state only arises when a process died between two file
+        operations (claim→heartbeat, release→requeue); recreating the
+        token is always safe because execution is idempotent.
+        """
+        queued = set(self.layout.queued_tasks())
+        leased = {index for index, _ in self.layout.leases()}
+        for index in self._keys:
+            if (index in self._done or index in queued or index in leased
+                    or index in self._delayed):
+                continue
+            if self._complete(index):
+                continue
+            attempt = self._failures.get(index, 0) + 1
+            self.layout.enqueue(index, attempt=attempt)
+            self.layout.journal("enqueue", task=index, attempt=attempt,
+                                key=self._keys[index])
+            self._emit("farm.enqueue", task=index, attempt=attempt,
+                       key=self._keys[index])
+
+    # -- events --------------------------------------------------------
+    def _emit(self, ev: str, **fields) -> None:
+        if self.trace.enabled:
+            self.trace.emit(ev, time.monotonic() - self._t0, **fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Broker({str(self.layout.root)!r}, tasks={len(self._keys)}, "
+                f"done={len(self._done)})")
+
+
+# ----------------------------------------------------------------------
+def spawn_worker(
+    root: Union[str, os.PathLike],
+    worker_id: Optional[str] = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    poll: float = DEFAULT_POLL,
+) -> subprocess.Popen:
+    """Spawn one local worker subprocess against ``root``.
+
+    The child runs ``python -m repro.farm.worker`` with the parent's
+    ``sys.path`` as ``PYTHONPATH`` so pickled tasks referencing modules
+    outside ``site-packages`` (e.g. test modules) still resolve.
+    """
+    cmd = [sys.executable, "-m", "repro.farm.worker", str(root),
+           "--lease-ttl", str(lease_ttl), "--poll", str(poll)]
+    if worker_id is not None:
+        cmd += ["--id", worker_id]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    # Silence the worker's completion line (stderr stays visible for
+    # real trouble); ``repro farm work`` run by hand keeps its stdout.
+    return subprocess.Popen(cmd, env=env, stdout=subprocess.DEVNULL)
+
+
+def run_farm(
+    tasks: Sequence[TaskSpec],
+    root: Union[str, os.PathLike],
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    trace=None,
+    t0: Optional[float] = None,
+    max_failures: int = 1,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    backoff: float = DEFAULT_BACKOFF,
+    poll: float = DEFAULT_POLL,
+) -> Broker:
+    """Serve ``tasks`` into ``root``, run ``workers`` local workers, and
+    drive the broker to completion.  Returns the finished broker.
+
+    This is the :class:`~repro.exp.runner.Runner`'s farm path; remote
+    workers started separately with ``repro farm work`` (or
+    ``python -m repro.farm.worker``) join the same run simply by
+    pointing at the same directory.
+    """
+    broker = Broker(root, tasks=tasks, cache=cache, trace=trace, t0=t0,
+                    max_failures=max_failures, lease_ttl=lease_ttl,
+                    backoff=backoff, poll=poll)
+    procs: List[subprocess.Popen] = []
+    try:
+        for i in range(max(0, workers)):
+            procs.append(spawn_worker(root, worker_id=f"local-{i}",
+                                      lease_ttl=lease_ttl, poll=poll))
+        broker.run()
+    finally:
+        # Workers exit on the DONE/FAILED marker; give them a moment,
+        # then insist.
+        for proc in procs:
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+    return broker
+
+
+def farm_status(root: Union[str, os.PathLike]) -> Dict[str, Any]:
+    """Snapshot of a farm directory for ``repro farm status``."""
+    layout = FarmLayout(root)
+    manifest = layout.read_manifest()
+    if manifest is None:
+        raise FarmError(f"{root} is not an initialised farm directory")
+    keys = manifest["keys"]
+    store = ResultCache(layout.store_root())
+    done = sum(1 for key in keys if store.contains(key))
+    failures: Dict[int, int] = {}
+    executed = 0
+    for record in layout.iter_journal():
+        op = record.get("op")
+        task = record.get("task")
+        if op in ("failed", "expired") and isinstance(task, int):
+            failures[task] = failures.get(task, 0) + 1
+        elif op == "done":
+            executed += 1
+    return {
+        "tasks": len(keys),
+        "done": done,
+        "queued": len(layout.queued_tasks()),
+        "leased": len(layout.leases()),
+        "executed": executed,
+        "failures": sum(failures.values()),
+        "state": layout.finished() or "running",
+    }
+
+
+def main(argv=None) -> int:  # pragma: no cover - exercised via subprocess
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.farm.broker",
+        description="Resume serving an initialised farm directory.",
+    )
+    parser.add_argument("root", help="farm directory")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="local worker processes to spawn (default 0: "
+                        "broker only; workers join from elsewhere)")
+    parser.add_argument("--max-failures", type=int, default=1)
+    parser.add_argument("--lease-ttl", type=float, default=DEFAULT_LEASE_TTL)
+    parser.add_argument("--backoff", type=float, default=DEFAULT_BACKOFF)
+    parser.add_argument("--poll", type=float, default=DEFAULT_POLL)
+    args = parser.parse_args(argv)
+    broker = Broker(args.root, max_failures=args.max_failures,
+                    lease_ttl=args.lease_ttl, backoff=args.backoff,
+                    poll=args.poll)
+    procs = [spawn_worker(args.root, worker_id=f"local-{i}",
+                          lease_ttl=args.lease_ttl, poll=args.poll)
+             for i in range(max(0, args.workers))]
+    try:
+        rows = broker.run()
+    finally:
+        for proc in procs:
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+    print(f"farm complete: {len(rows)} row(s), executed={broker.executed}, "
+          f"store_hits={broker.store_hits}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,186 @@
+"""Farm worker: lease tasks, execute, publish rows, heartbeat.
+
+A worker is a plain process pointed at a farm directory — run it on as
+many hosts as can see that directory.  The loop:
+
+1. claim a queued task by atomic rename (exactly one claimant wins);
+2. rewrite the lease with this worker's id and a heartbeat deadline,
+   then keep extending it from a daemon thread every ``ttl/3`` seconds —
+   a worker that dies stops heartbeating and the broker requeues its
+   task after the deadline passes;
+3. execute via :func:`~repro.exp.spec.execute_task` (the task file
+   carries the full pickled :class:`~repro.exp.spec.TaskSpec`, seed
+   included), canonicalise the row through a JSON round-trip exactly
+   like ``Runner._record``, and publish it to the shared
+   content-addressed store;
+4. journal ``done``/``failed`` and release the lease.
+
+Workers exit when the broker writes a ``DONE``/``FAILED`` marker, or on
+``--max-tasks`` / ``--idle-timeout`` (used by tests and bounded CI
+runs).  Because runs are deterministic and the store is idempotent,
+a task executed twice (lease expired under a slow-but-alive worker)
+publishes the same bytes — duplicate execution wastes time, never
+correctness.
+
+This module is the worker's entry point (``python -m repro.farm.worker``)
+precisely so remote hosts need none of the CLI's optional plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from typing import Optional, Union
+
+from ..exp.cache import ResultCache
+from ..exp.spec import execute_task
+from .layout import FarmLayout
+
+__all__ = ["work"]
+
+DEFAULT_LEASE_TTL = 15.0
+DEFAULT_POLL = 0.05
+
+
+def _default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class _Heartbeat:
+    """Daemon thread extending one lease until stopped."""
+
+    def __init__(self, layout: FarmLayout, index: int, worker: str,
+                 attempt: int, ttl: float):
+        self._layout = layout
+        self._index = index
+        self._worker = worker
+        self._attempt = attempt
+        self._ttl = ttl
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def start(self) -> None:
+        self._layout.write_lease(self._index, self._worker, self._attempt,
+                                 time.time() + self._ttl)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._ttl / 3.0):
+            try:
+                self._layout.write_lease(self._index, self._worker,
+                                         self._attempt,
+                                         time.time() + self._ttl)
+            except OSError:  # pragma: no cover - transient fs trouble
+                pass
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=1.0)
+
+
+def work(
+    root: Union[str, os.PathLike],
+    worker_id: Optional[str] = None,
+    store: Optional[ResultCache] = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    poll: float = DEFAULT_POLL,
+    max_tasks: Optional[int] = None,
+    idle_timeout: Optional[float] = None,
+) -> int:
+    """Process tasks from the farm at ``root`` until it finishes.
+
+    Returns the number of tasks executed (successfully or not).
+    ``max_tasks`` / ``idle_timeout`` bound the loop for tests and CI;
+    production workers run until the broker writes a terminal marker.
+    """
+    layout = FarmLayout(root)
+    worker = worker_id or _default_worker_id()
+    if store is None:
+        # The manifest names the shared store (an external cache passed
+        # by the broker, or the farm's own results/ directory).
+        store = ResultCache(layout.store_root())
+    processed = 0
+    idle_since = time.monotonic()
+    while True:
+        if layout.finished() is not None:
+            return processed
+        if max_tasks is not None and processed >= max_tasks:
+            return processed
+        claimed = None
+        for index in layout.queued_tasks():
+            token = layout.claim(index)
+            if token is not None:
+                claimed = (index, int(token.get("attempt", 1)))
+                break
+        if claimed is None:
+            if (idle_timeout is not None
+                    and time.monotonic() - idle_since > idle_timeout):
+                return processed
+            time.sleep(poll)
+            continue
+        index, attempt = claimed
+        idle_since = time.monotonic()
+        processed += 1
+        heartbeat = _Heartbeat(layout, index, worker, attempt, lease_ttl)
+        heartbeat.start()
+        try:
+            _run_one(layout, store, index, attempt, worker)
+        finally:
+            heartbeat.stop()
+            layout.release_lease(index)
+
+
+def _run_one(layout: FarmLayout, store: ResultCache, index: int,
+             attempt: int, worker: str) -> None:
+    layout.journal("lease", task=index, worker=worker, attempt=attempt)
+    start = time.perf_counter()
+    try:
+        entry = layout.read_task(index)
+        task = entry["task"]
+        key = entry["key"]
+        row = execute_task(task)
+        # Same canonicalisation as Runner._record: a farm row must be
+        # bit-identical to the row a serial run would produce.
+        row = json.loads(json.dumps(row))
+        store.store(key, task, row)
+    except Exception as exc:
+        layout.journal("failed", task=index, worker=worker, attempt=attempt,
+                       reason=f"{type(exc).__name__}: {exc}")
+        return
+    layout.journal("done", task=index, worker=worker, attempt=attempt,
+                   wall=time.perf_counter() - start, key=key)
+
+
+def main(argv=None) -> int:  # pragma: no cover - exercised via subprocess
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.farm.worker",
+        description="Run one farm worker against a farm directory.",
+    )
+    parser.add_argument("root", help="farm directory (shared filesystem)")
+    parser.add_argument("--id", default=None, help="worker id "
+                        "(default: <hostname>-<pid>)")
+    parser.add_argument("--lease-ttl", type=float, default=DEFAULT_LEASE_TTL,
+                        help="lease heartbeat deadline, seconds")
+    parser.add_argument("--poll", type=float, default=DEFAULT_POLL,
+                        help="idle poll interval, seconds")
+    parser.add_argument("--max-tasks", type=int, default=None,
+                        help="exit after this many tasks")
+    parser.add_argument("--idle-timeout", type=float, default=None,
+                        help="exit after this long without work, seconds")
+    args = parser.parse_args(argv)
+    processed = work(args.root, worker_id=args.id, lease_ttl=args.lease_ttl,
+                     poll=args.poll, max_tasks=args.max_tasks,
+                     idle_timeout=args.idle_timeout)
+    print(f"worker {args.id or _default_worker_id()}: "
+          f"{processed} task(s) processed")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -58,21 +58,23 @@ def sweep(
     trace=None,
     timeout: Optional[float] = None,
     retries: int = 1,
+    farm=None,
 ) -> List[Dict]:
     """Run ``run(**point)`` for every grid point; each result row carries
     the parameters plus whatever ``run`` returned.
 
     With the default arguments every point runs serially in-process.
     Passing any of ``parallel`` (worker process count), ``cache`` (a
-    :class:`~repro.exp.cache.ResultCache` or cache directory path) or
+    :class:`~repro.exp.cache.ResultCache` or cache directory path),
     ``trace`` (a :class:`~repro.obs.trace.TraceBus` for ``exp.*`` progress
-    events) delegates to the :class:`~repro.exp.runner.Runner`; see
-    ``docs/RUNNER.md``.  Rows come back in grid order either way, and
-    ``run`` must be a picklable module-level function to execute on more
-    than one worker.
+    events) or ``farm`` (a farm directory for crash-resumable multi-host
+    execution, see :mod:`repro.farm`) delegates to the
+    :class:`~repro.exp.runner.Runner`; see ``docs/RUNNER.md``.  Rows come
+    back in grid order either way, and ``run`` must be a picklable
+    module-level function to execute on more than one worker.
     """
     points = grid_points(parameters)
-    if parallel is None and cache is None and trace is None:
+    if parallel is None and cache is None and trace is None and farm is None:
         return [merge_row(point, run(**point)) for point in points]
 
     from ..exp.runner import Runner
@@ -88,6 +90,6 @@ def sweep(
     ]
     runner = Runner(
         parallel=parallel or 1, cache=cache, trace=trace,
-        timeout=timeout, retries=retries,
+        timeout=timeout, retries=retries, farm=farm,
     )
     return runner.run_tasks(tasks)

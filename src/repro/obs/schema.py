@@ -38,8 +38,9 @@ class FieldSpec(NamedTuple):
 COMMON_FIELDS: Dict[str, FieldSpec] = {
     "ev": FieldSpec((str,), True, False, "event type name"),
     "t": FieldSpec((int, float), True, False,
-                   "simulated time, seconds (for exp.* runner events: "
-                   "wall-clock seconds since the sweep run started)"),
+                   "simulated time, seconds (for exp.*/farm.* runner and "
+                   "broker events: wall-clock seconds since the run "
+                   "started)"),
     "i": FieldSpec((int,), True, False,
                    "monotonic emission index (total order over the run)"),
 }
@@ -158,11 +159,127 @@ EVENT_TYPES: Dict[str, Dict[str, FieldSpec]] = {
         "key": FieldSpec((str,), True, True,
                          "result-cache key (null when caching is off)"),
     },
+    "exp.task_failed": {
+        "task": FieldSpec((int,), True, False,
+                          "grid index of the sweep point"),
+        "attempt": FieldSpec((int,), True, False,
+                             "attempt number of the terminal failure"),
+        "failures": FieldSpec((int,), True, False,
+                              "total failed attempts accumulated by the "
+                              "task (the spent retry budget)"),
+        "reason": FieldSpec((str,), True, False,
+                            "'<ExceptionType>: <message>' of the last "
+                            "failure"),
+        "key": FieldSpec((str,), True, True,
+                         "result-cache key (null when caching is off)"),
+    },
+    "exp.pool_abandoned": {
+        "reaped": FieldSpec((int,), True, False,
+                            "orphaned pool worker processes killed after "
+                            "the pool was abandoned (timed-out tasks "
+                            "cannot be preempted, only reaped)"),
+    },
     "exp.cache_hit": {
         "task": FieldSpec((int,), True, False,
                           "grid index of the sweep point"),
         "key": FieldSpec((str,), True, False,
                          "result-cache key the row was served from"),
+    },
+    # Distributed experiment farm (repro.farm): broker-side progress.
+    # "task" is the grid index; leases/failures mirror the persistent
+    # journal, so a resumed serve replays the same event shapes.
+    "farm.serve": {
+        "tasks": FieldSpec((int,), True, False,
+                           "grid points owned by the farm"),
+        "done": FieldSpec((int,), True, False,
+                          "points already complete in the result store "
+                          "at serve start (resume hits)"),
+        "leased": FieldSpec((int,), True, False,
+                            "points under a live worker lease at serve "
+                            "start"),
+        "queued": FieldSpec((int,), True, False,
+                            "points with a claimable queue token at "
+                            "serve start"),
+        "delayed": FieldSpec((int,), True, False,
+                             "points waiting out a requeue backoff at "
+                             "serve start"),
+    },
+    "farm.enqueue": {
+        "task": FieldSpec((int,), True, False,
+                          "grid index of the enqueued point"),
+        "attempt": FieldSpec((int,), True, False,
+                             "execution attempt this token represents "
+                             "(1 = first enqueue)"),
+        "key": FieldSpec((str,), True, False,
+                         "content-addressed result-store key"),
+    },
+    "farm.lease": {
+        "task": FieldSpec((int,), True, False,
+                          "grid index of the leased point"),
+        "worker": FieldSpec((str,), True, False,
+                            "id of the worker holding the lease"),
+        "attempt": FieldSpec((int,), True, False,
+                             "execution attempt under this lease"),
+    },
+    "farm.task_done": {
+        "task": FieldSpec((int,), True, False,
+                          "grid index of the completed point"),
+        "worker": FieldSpec((str,), True, False,
+                            "id of the worker that computed the row"),
+        "wall": FieldSpec((int, float), True, False,
+                          "wall-clock execution time of the point, "
+                          "seconds"),
+        "key": FieldSpec((str,), True, False,
+                         "result-store key the row was published under"),
+    },
+    "farm.task_failed": {
+        "task": FieldSpec((int,), True, False,
+                          "grid index of the failed point"),
+        "worker": FieldSpec((str,), True, False,
+                            "id of the worker that reported the failure"),
+        "reason": FieldSpec((str,), True, False,
+                            "'<ExceptionType>: <message>' from the "
+                            "worker"),
+        "failures": FieldSpec((int,), True, False,
+                              "failed attempts accumulated by the task "
+                              "(lease expiries included)"),
+    },
+    "farm.lease_expired": {
+        "task": FieldSpec((int,), True, False,
+                          "grid index whose lease lapsed"),
+        "worker": FieldSpec((str,), True, True,
+                            "last known lease holder (null when the "
+                            "lease file was unreadable)"),
+        "failures": FieldSpec((int,), True, False,
+                              "failed attempts accumulated by the task "
+                              "(an expiry counts as one)"),
+    },
+    "farm.requeue": {
+        "task": FieldSpec((int,), True, False,
+                          "grid index being requeued"),
+        "failures": FieldSpec((int,), True, False,
+                              "failed attempts accumulated so far"),
+        "delay": FieldSpec((int, float), True, False,
+                           "exponential backoff before the next enqueue, "
+                           "seconds"),
+    },
+    "farm.exhausted": {
+        "task": FieldSpec((int,), True, False,
+                          "grid index whose failure budget ran out"),
+        "failures": FieldSpec((int,), True, False,
+                              "failed attempts accumulated by the task"),
+    },
+    "farm.complete": {
+        "rows": FieldSpec((int,), True, False,
+                          "rows aggregated in grid order"),
+        "executed": FieldSpec((int,), True, False,
+                              "points computed by workers during this "
+                              "serve"),
+        "store_hits": FieldSpec((int,), True, False,
+                                "points served from the result store at "
+                                "serve start (resume hits)"),
+        "wall": FieldSpec((int, float), True, False,
+                          "serve wall-clock time, seconds"),
     },
     # Invariant-checking layer (repro.check): attach/stats bracket a
     # monitored run; a violation record precedes the raised

@@ -86,6 +86,27 @@ def flaky_sim_point(flag_dir, seed, c2):
     return sim_point(seed, c2)
 
 
+def assert_stream_closed(events):
+    """Every ``exp.task_start`` must be closed by exactly one terminal
+    event — ``exp.task_done``, ``exp.task_retry`` or ``exp.task_failed``
+    — carrying the same task and attempt."""
+    starts = {}
+    closures = {}
+    for record in events:
+        key = (record.get("task"), record.get("attempt"))
+        if record["ev"] == "exp.task_start":
+            starts[key] = starts.get(key, 0) + 1
+        elif record["ev"] in ("exp.task_done", "exp.task_retry",
+                              "exp.task_failed"):
+            closures[key] = closures.get(key, 0) + 1
+    assert starts, "no exp.task_start events in the stream"
+    for key, n in starts.items():
+        assert closures.get(key, 0) == n, (
+            f"task/attempt {key}: {n} start(s) but "
+            f"{closures.get(key, 0)} closure(s)"
+        )
+
+
 # -- deterministic aggregation -----------------------------------------
 
 
@@ -139,9 +160,12 @@ class TestDeterminismMatrix:
         warm = warm_runner.run(specs)
         assert warm_runner.cache_hits == len(specs)
         assert warm_runner.executed == 0
+        farm_runner = Runner(parallel=2, farm=str(tmp_path / "farm"))
+        farm = farm_runner.run(specs)
+        assert farm_runner.executed == len(specs)
         dumps = [
             json.dumps(rows, sort_keys=True)
-            for rows in (serial, parallel, cold, warm)
+            for rows in (serial, parallel, cold, warm, farm)
         ]
         assert len(set(dumps)) == 1
 
@@ -217,9 +241,53 @@ class TestFaultTolerance:
         reasons = [r["reason"] for r in sink.of_type("exp.task_retry")]
         assert "timeout" in reasons
 
+    def test_stuck_tasks_share_one_deadline_and_workers_are_reaped(
+            self, tmp_path):
+        # Three tasks all stall past the timeout on their first (pool)
+        # attempt.  The old submission-order wait granted each future a
+        # fresh timeout — a ~3×timeout stall; the deadline-based wait
+        # expires them together, so the pool phase costs ~1×timeout and
+        # the orphaned workers are reaped (exp.pool_abandoned).
+        sink = MemorySink()
+        runner_timeout = 1.0
+        start = time.monotonic()
+        rows = sweep(
+            {"flag_dir": [str(tmp_path)], "x": [1, 2, 3]},
+            sleepy_point, parallel=3, timeout=runner_timeout,
+            trace=TraceBus(sinks=[sink]),
+        )
+        wall = time.monotonic() - start
+        assert [r["ok"] for r in rows] == [1, 2, 3]
+        # Retries are instant (flag files exist), so anything well under
+        # 3×timeout proves the deadlines were shared; generous headroom
+        # for pool start-up on a loaded single-CPU machine.
+        assert wall < 2.5 * runner_timeout, (
+            f"pool stall took {wall:.2f}s — futures are waited in "
+            "submission order again?"
+        )
+        reasons = [r["reason"] for r in sink.of_type("exp.task_retry")]
+        assert reasons.count("timeout") == 3
+        abandoned = sink.of_type("exp.pool_abandoned")
+        assert len(abandoned) == 1
+        assert abandoned[0]["reaped"] >= 1
+        assert_stream_closed(sink.events)
+
     def test_retry_budget_exhausted_raises(self):
         with pytest.raises(TaskError, match="retry budget exhausted"):
             sweep({"x": [1]}, always_fails, parallel=1, retries=1)
+
+    def test_exhaustion_emits_terminal_task_failed_event(self):
+        # The stream must close even when the runner raises: the final
+        # exp.task_start is answered by exp.task_failed, not silence.
+        sink = MemorySink()
+        with pytest.raises(TaskError):
+            sweep({"x": [1]}, always_fails, parallel=1, retries=1,
+                  trace=TraceBus(sinks=[sink]))
+        failed = sink.of_type("exp.task_failed")
+        assert len(failed) == 1
+        assert failed[0]["failures"] == 2
+        assert "RuntimeError: boom" in failed[0]["reason"]
+        assert_stream_closed(sink.events)
 
     def test_zero_retries_fails_on_first_error(self):
         with pytest.raises(TaskError, match="failed 1 time"):
@@ -253,6 +321,7 @@ class TestRunnerEvents:
         counts = sink.counts()
         assert counts["exp.task_done"] == 2
         assert counts["exp.task_retry"] >= 1
+        assert_stream_closed(sink.events)
 
     def test_trace_validate_accepts_runner_jsonl(self, tmp_path):
         trace_path = tmp_path / "sweep.jsonl"

@@ -251,13 +251,17 @@ class TestSchemaValidation:
         # and fault.* layers in tests/test_check_invariants.py and
         # tests/test_fault_injection.py; the pathmgr.* lifecycle events
         # in tests/test_pathmgr.py; the hybrid.* flow-class events in
-        # tests/test_hybrid.py).
+        # tests/test_hybrid.py; the farm.* broker events in
+        # tests/test_farm.py).
         assert set(EVENT_TYPES) == {
             "pkt.enqueue", "pkt.drop", "pkt.deliver", "cc.cwnd_update",
             "tcp.timeout", "tcp.fast_retransmit", "mptcp.dsn_ack",
             "engine.event_fired",
             "exp.task_start", "exp.task_done", "exp.task_retry",
-            "exp.cache_hit",
+            "exp.task_failed", "exp.cache_hit", "exp.pool_abandoned",
+            "farm.serve", "farm.enqueue", "farm.lease", "farm.task_done",
+            "farm.task_failed", "farm.lease_expired", "farm.requeue",
+            "farm.exhausted", "farm.complete",
             "check.attach", "check.violation", "check.stats",
             "fault.armed", "fault.fire",
             "pathmgr.add_addr", "pathmgr.remove_addr",
