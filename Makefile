@@ -30,18 +30,25 @@
 #                    python block in docs/*.md and assert the event
 #                    table / controller registry stay in sync with the
 #                    code (tools/docs_check.py)
+#   make rt-test     real-network backend tests only (pytest -m realnet):
+#                    loopback-UDP transfers, handover on real sockets,
+#                    the sim/real divergence gate — see docs/REALNET.md
+#   make rt-demo     two-subflow LIA transfer + WiFi→3G handover over
+#                    real loopback UDP sockets, rt trace validated, then
+#                    the sim-vs-real divergence report
 
 PYTHON    ?= python
 PP        := PYTHONPATH=src
 TRACE_OUT ?= quickstart-trace.jsonl
 HANDOVER_OUT ?= handover-trace.jsonl
+RT_OUT    ?= rt-trace.jsonl
 SWEEP_CACHE ?= .sweep-demo-cache
 BENCH_OUT ?= BENCH_pr4.json
 
 .PHONY: test obs-test sweep-test check-test pathmgr-test hybrid-test \
 	farm-test farm-demo \
 	bench bench-gate bench-smoke bench-baseline trace-demo sweep-demo \
-	handover-demo docs-check
+	handover-demo docs-check rt-test rt-demo
 
 test:
 	$(PP) $(PYTHON) -m pytest -x -q
@@ -99,3 +106,12 @@ handover-demo:
 	$(PP) $(PYTHON) -m repro handover --trace $(HANDOVER_OUT)
 	$(PP) $(PYTHON) -m repro handover --mode make_before_break
 	$(PP) $(PYTHON) -m repro trace-validate $(HANDOVER_OUT)
+
+rt-test:
+	$(PP) $(PYTHON) -m pytest -m realnet -q
+
+rt-demo:
+	$(PP) $(PYTHON) -m repro rt --trace $(RT_OUT)
+	$(PP) $(PYTHON) -m repro trace-validate $(RT_OUT)
+	$(PP) $(PYTHON) -m repro rt --handover
+	$(PP) $(PYTHON) -m repro rt --divergence

@@ -39,6 +39,13 @@ Path management and mobility (see docs/PATH_MANAGEMENT.md):
     python -m repro handover --policy full_mesh --trace handover.jsonl
     python -m repro sweep wifi_3g_handover --parallel 2
 
+Real-network backend: the same state machines over loopback UDP sockets
+(see docs/REALNET.md):
+
+    python -m repro rt --algo lia --netem lan --trace rt.jsonl
+    python -m repro rt --handover --mode make_before_break
+    python -m repro rt --divergence
+
 Hot-path benchmarks and the regression gate (see docs/REPRODUCTION_NOTES.md):
 
     python -m repro bench                    # write BENCH_pr4.json
@@ -74,6 +81,9 @@ from .obs import (
     validate_jsonl,
 )
 from .pathmgr import HANDOVER_MODES, PATHMGR_EVENTS, POLICIES
+from .rt import divergence_report
+from .rt.divergence import tolerance_scale as rt_tolerance_scale
+from .rt.netem import PROFILES as RT_PROFILES
 from .sim.simulation import Simulation
 from .topology import (
     SWEEP_GRIDS,
@@ -434,6 +444,92 @@ def _cmd_handover(args) -> int:
     return 0
 
 
+def _cmd_rt(args) -> int:
+    """Real-backend demos: loopback transfer, handover, divergence."""
+    scenario = "rt_handover" if args.handover else "rt_loopback"
+    duration = args.duration
+    if duration is None:
+        duration = 4.5 if args.handover else 2.0
+    params = {"algo": args.algo, "check": 1}
+    if args.handover:
+        params["mode"] = args.mode
+    else:
+        params["netem"] = args.netem
+    spec = ScenarioSpec(
+        scenario=scenario, params=params, seed=args.seed,
+        warmup=args.warmup, duration=duration,
+    )
+    sink = bus = None
+    if args.trace:
+        sink = JsonlSink(args.trace)
+        bus = TraceBus(sinks=[sink])
+    try:
+        if args.divergence:
+            report = divergence_report(spec, trace=bus)
+            print(report)
+            try:
+                report.assert_within()
+            except AssertionError as exc:
+                print(f"FAIL: {exc}", file=sys.stderr)
+                return 1
+            print("divergence within tolerance "
+                  f"(scale={rt_tolerance_scale():g})")
+            return 0
+        if bus is not None:
+            with trace_override(bus):
+                row = SCENARIOS[scenario](spec)
+        else:
+            row = SCENARIOS[scenario](spec)
+    except InvariantViolation as exc:
+        print(f"VIOLATION: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if bus is not None:
+            bus.close()
+    if args.handover:
+        table = Table(["phase", "pkt/s", "Mb/s"], precision=1)
+        table.add_row(["before outage", row["pre_pps"],
+                       pps_to_mbps(row["pre_pps"])])
+        table.add_row(["during outage", row["outage_pps"],
+                       pps_to_mbps(row["outage_pps"])])
+        table.add_row(["after recovery", row["post_pps"],
+                       pps_to_mbps(row["post_pps"])])
+        print(table.render(
+            f"WiFi→3G handover on real UDP sockets: {args.algo} "
+            f"(seed {args.seed})"
+        ))
+        print(
+            f"handovers={row['handovers']}  "
+            f"subflows opened={row['subflows_opened']} "
+            f"closed={row['subflows_closed']}  "
+            f"delivery gap={row['delivery_gap']}  "
+            f"violations={row['violations']}"
+        )
+    else:
+        table = Table(["metric", "value"], precision=1)
+        table.add_row(["goodput (pkt/s)", row["goodput_pps"]])
+        table.add_row(["goodput (Mb/s)", pps_to_mbps(row["goodput_pps"])])
+        table.add_row(["delivered packets", row["delivered"]])
+        table.add_row(["mean total cwnd", row["cwnd_mean"]])
+        print(table.render(
+            f"two-subflow {args.algo} over loopback UDP "
+            f"(netem={args.netem}, seed {args.seed})"
+        ))
+        print(
+            f"subflows={row['subflows_opened']}  "
+            f"ctrl frames={row['ctrl_frames']}  "
+            f"delivery gap={row['delivery_gap']}  "
+            f"violations={row['violations']}"
+        )
+    if args.trace:
+        print(f"wrote {sink.records_written} events to {args.trace}")
+    if row["delivery_gap"]:
+        print("FAIL: nonzero delivery gap on the real backend",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 #: Scenarios the observability commands can build (small, fast shapes that
 #: cover single-path, multipath and wireless instrumentation).
 OBS_SCENARIOS = ("quickstart", "twolinks", "wireless")
@@ -718,6 +814,34 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", default=None,
                    help="write pathmgr.*/check.* events to this JSONL file")
     p.set_defaults(func=_cmd_handover)
+
+    p = sub.add_parser(
+        "rt",
+        help="real-network backend: the same state machines over "
+             "loopback UDP sockets (see docs/REALNET.md)",
+    )
+    p.add_argument("--algo", default="lia", choices=sorted(ALGORITHMS))
+    p.add_argument("--netem", default="lan", choices=sorted(RT_PROFILES),
+                   help="impairment profile for the loopback transfer "
+                        "(default lan)")
+    p.add_argument("--handover", action="store_true",
+                   help="run the WiFi→3G handover on real sockets "
+                        "instead of the plain two-subflow transfer")
+    p.add_argument("--mode", default="break_before_make",
+                   choices=HANDOVER_MODES,
+                   help="handover mode (with --handover)")
+    p.add_argument("--divergence", action="store_true",
+                   help="run the spec on both backends and report "
+                        "per-metric sim-vs-real relative error")
+    p.add_argument("--seed", type=int, default=5)
+    p.add_argument("--warmup", type=float, default=0.5,
+                   help="wall-clock warmup seconds (default 0.5)")
+    p.add_argument("--duration", type=float, default=None,
+                   help="wall-clock measurement seconds (default 2; "
+                        "4.5 with --handover)")
+    p.add_argument("--trace", default=None,
+                   help="write all trace events to this JSONL file")
+    p.set_defaults(func=_cmd_rt)
 
     p = sub.add_parser(
         "bench",

@@ -357,3 +357,9 @@ def specs_for_grid(
         )
         for point in grid_points(grid["parameters"])
     ]
+
+
+# Real-backend point functions register themselves through the same
+# decorator; imported last so `scenario`/`SCENARIOS` exist when the
+# partially-initialised module cycle (rt.scenarios -> exp.grids) closes.
+from ..rt import scenarios as _rt_scenarios  # noqa: E402,F401  isort:skip

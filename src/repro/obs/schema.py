@@ -40,7 +40,9 @@ COMMON_FIELDS: Dict[str, FieldSpec] = {
     "t": FieldSpec((int, float), True, False,
                    "simulated time, seconds (for exp.*/farm.* runner and "
                    "broker events: wall-clock seconds since the run "
-                   "started)"),
+                   "started; for real-backend runs: raw monotonic-clock "
+                   "seconds — the run's rt.run record declares the origin "
+                   "to subtract for a 0-based axis)"),
     "i": FieldSpec((int,), True, False,
                    "monotonic emission index (total order over the run)"),
 }
@@ -68,9 +70,11 @@ EVENT_TYPES: Dict[str, Dict[str, FieldSpec]] = {
                           "name of the dropping element"),
         "kind": FieldSpec((str,), True, False,
                           "'queue' (buffer overflow), 'pipe' (random media "
-                          "loss), 'fault' (injected by repro.fault) or "
+                          "loss), 'fault' (injected by repro.fault), "
                           "'hybrid' (fluid congestion loss applied to a "
-                          "tracer packet by repro.hybrid)"),
+                          "tracer packet by repro.hybrid) or 'netem' "
+                          "(real-backend impairment: random loss, buffer "
+                          "overflow or rate-0 outage in repro.rt.netem)"),
         "flow": _FLOW,
         "seq": FieldSpec((int,), True, True,
                          "subflow sequence number of the dropped packet"),
@@ -431,6 +435,78 @@ EVENT_TYPES: Dict[str, Dict[str, FieldSpec]] = {
         "delivered": FieldSpec((int, float), True, False,
                                "cumulative aggregate deliveries, packets "
                                "(fractional: integrates the fluid rate)"),
+    },
+    # Real-network backend (repro.rt): one rt.run record opens every
+    # traced run and declares the clock origin; subsequent rt.* events
+    # (and all state-machine events) carry raw monotonic-clock ``t``.
+    "rt.run": {
+        "backend": FieldSpec((str,), True, False,
+                             "'rt' (asyncio UDP loopback runtime)"),
+        "origin_mono": FieldSpec((int, float), True, False,
+                                 "monotonic-clock value at the run origin, "
+                                 "seconds (subtract from ``t`` for a "
+                                 "0-based axis)"),
+        "origin_unix": FieldSpec((int, float), True, False,
+                                 "Unix wall-clock time at the run origin, "
+                                 "seconds"),
+        "seed": FieldSpec((int,), True, False,
+                          "seed of the run's impairment RNG"),
+    },
+    "rt.channel_open": {
+        "path": FieldSpec((str,), True, False,
+                          "rt path name the channel runs on"),
+        "channel": FieldSpec((int,), True, False,
+                             "wire channel id (one per subflow attach; "
+                             "stamped into every datagram)"),
+        "flow": FieldSpec((str,), True, True,
+                          "subflow name bound to the channel (null until "
+                          "the sender binds)"),
+    },
+    "rt.ctrl": {
+        "path": FieldSpec((str,), True, False,
+                          "rt path name the control frame arrived on"),
+        "kind": FieldSpec((str,), True, False,
+                          "'mp_capable' | 'mp_join' | 'add_addr' | "
+                          "'remove_addr'"),
+        "token": FieldSpec((int,), False, True,
+                           "connection token / sender key carried by "
+                           "mp_join and mp_capable frames"),
+        "addr_id": FieldSpec((int,), False, True,
+                             "address id carried by add_addr/remove_addr "
+                             "frames"),
+    },
+    "rt.codec_error": {
+        "path": FieldSpec((str,), True, False,
+                          "rt path name the bad datagram arrived on"),
+        "reason": FieldSpec((str,), True, False,
+                            "decode failure (truncated, bad magic, "
+                            "checksum mismatch, unknown type)"),
+    },
+    "rt.netem": {
+        "path": FieldSpec((str,), True, False, "rt path name"),
+        "direction": FieldSpec((str,), True, False,
+                               "'fwd' (data) | 'rev' (ACK)"),
+        "rate_mbps": FieldSpec((int, float), True, True,
+                               "new emulated line rate, Mb/s (null = "
+                               "unlimited; 0 = outage)"),
+    },
+    # Divergence harness (repro.rt.divergence): one record per compared
+    # metric after running the same spec on both backends.
+    "rt.divergence": {
+        "scenario": FieldSpec((str,), True, False,
+                              "scenario name the spec ran under"),
+        "metric": FieldSpec((str,), True, False,
+                            "compared metric (e.g. 'goodput_pps', "
+                            "'delivered')"),
+        "sim": FieldSpec((int, float), True, False,
+                         "value measured on the sim backend"),
+        "rt": FieldSpec((int, float), True, False,
+                        "value measured on the real backend"),
+        "rel_err": FieldSpec((int, float), True, False,
+                             "|rt - sim| / max(|sim|, eps)"),
+        "tolerance": FieldSpec((int, float), True, True,
+                               "gate tolerance applied (null = report "
+                               "only)"),
     },
     "hybrid.link_state": {
         "link": FieldSpec((str,), True, False, "fluid link name"),

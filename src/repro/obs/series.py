@@ -74,9 +74,19 @@ class SeriesRecorder:
     warmup:
         Samples at ``t <= warmup`` are discarded; rate probes still
         consume them to re-baseline their counters.
+    time_origin:
+        Epoch of the clock relative to the run start.  Recorded times
+        are ``sim.now - time_origin`` and ``warmup`` is compared on the
+        rebased axis, so a run on the real-network backend (whose clock
+        is raw ``loop.time()`` monotonic seconds — an arbitrary large
+        origin) produces the same 0-based time axis as a sim run and the
+        two align sample-for-sample in the divergence harness.  ``None``
+        (the default) resolves to ``sim.time_origin`` when the owning
+        simulation declares one, else 0.0 — sim runs are unaffected.
     """
 
-    def __init__(self, sim, interval: float = 1.0, warmup: float = 0.0):
+    def __init__(self, sim, interval: float = 1.0, warmup: float = 0.0,
+                 time_origin: Optional[float] = None):
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval!r}")
         if warmup < 0:
@@ -84,6 +94,9 @@ class SeriesRecorder:
         self.sim = sim
         self.interval = float(interval)
         self.warmup = float(warmup)
+        if time_origin is None:
+            time_origin = getattr(sim, "time_origin", 0.0)
+        self.time_origin = float(time_origin)
         self._gauges: Dict[str, Probe] = {}
         self._rates: Dict[str, Callable[[], int]] = {}
         self._rate_last: Dict[str, float] = {}
@@ -148,6 +161,10 @@ class SeriesRecorder:
         if not self._running:
             return
         now = self.sim.now
+        if self.time_origin:
+            # Rebase real-backend monotonic clocks to a 0-based axis; the
+            # guard keeps the sim hot path free of a useless subtraction.
+            now -= self.time_origin
         if now > self.warmup:
             self._times.append(now)
             for column, probe in self._gauge_samplers:

@@ -1,0 +1,188 @@
+"""In-process network emulation for loopback runs (no root, no ``tc``).
+
+Loopback UDP has microsecond RTTs and no loss; to reproduce the sim's
+scenarios over real sockets each :class:`~repro.rt.wire.RtPath` pushes
+every datagram through a per-direction :class:`NetemChannel` that
+emulates the same three impairments the simulator's path elements apply:
+
+* **rate** — a transmission clock: each packet occupies the emulated
+  line for ``size / rate_pps`` seconds, departures are serialized
+  (``busy_until``), and at most ``buffer_pkts`` packets may be waiting —
+  the drop-tail behaviour of the sim's ``VariableRateQueue``.  A rate of
+  0 models a coverage outage (packets are dropped, senders hit their
+  RTO, exactly the condition the handover machinery reacts to);
+  ``None`` means unimpeded.
+* **delay/jitter** — one-way propagation delay, plus a uniform ±jitter
+  drawn from the run's seeded RNG (the sim's ``Pipe``/``LossyPipe``
+  delay; jitter is the real-world extra the sim does not model).
+* **loss** — i.i.d. loss probability (the sim's ``LossyPipe``).
+
+Rate changes arrive through :meth:`NetemChannel.set_rate_mbps`, so a
+:class:`~repro.topology.wireless.LinkSchedule` drives an ``RtPath``
+exactly as it drives a sim ``WirelessPath`` — schedule-driven capacity
+walks (§5's stairwell) work verbatim on the real backend.
+
+Every drop is traced as ``pkt.drop`` with ``kind='netem'``; rate changes
+as ``rt.netem``.
+
+The :data:`PROFILES` registry names the standard impairment sets: the
+sim-twin ``wifi``/``3g`` parameters (matching ``build_wifi_path`` /
+``build_3g_path``), a mild ``lan`` default for divergence runs, and a
+delay-only ``clean``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional
+
+from ..net.network import mbps_to_pps
+
+__all__ = ["NetemProfile", "NetemChannel", "PROFILES", "profile_replace"]
+
+
+@dataclass(frozen=True)
+class NetemProfile:
+    """One direction's impairments.  All times in seconds."""
+
+    delay: float = 0.0                  # one-way propagation delay
+    jitter: float = 0.0                 # uniform ±jitter on the delay
+    loss: float = 0.0                   # i.i.d. loss probability
+    rate_mbps: Optional[float] = None   # emulated line rate (None = ∞)
+    buffer_pkts: int = 64               # waiting packets before drop-tail
+
+    def reverse(self) -> "NetemProfile":
+        """Default return-direction profile: delay only, like the sim's
+        delay-only reverse pipes (ACKs are tiny and rarely the
+        bottleneck; scenarios can pass an explicit reverse profile)."""
+        return NetemProfile(delay=self.delay)
+
+
+#: Named impairment sets.  ``wifi``/``3g`` mirror the sim's
+#: ``build_wifi_path``/``build_3g_path`` parameters so a loopback run
+#: faces the same rates, RTT floors, buffers and ambient loss as its
+#: simulated twin.
+PROFILES: Dict[str, NetemProfile] = {
+    "wifi": NetemProfile(delay=0.005, loss=0.01, rate_mbps=14.4,
+                         buffer_pkts=20),
+    "3g": NetemProfile(delay=0.050, loss=0.0, rate_mbps=2.1,
+                       buffer_pkts=300),
+    "lan": NetemProfile(delay=0.010, loss=0.0, rate_mbps=2.0,
+                        buffer_pkts=50),
+    "lossy_lan": NetemProfile(delay=0.010, loss=0.02, rate_mbps=2.0,
+                              buffer_pkts=50),
+    "clean": NetemProfile(delay=0.002),
+}
+
+
+class NetemChannel:
+    """One direction of one path: admit datagrams, impair, then send."""
+
+    __slots__ = (
+        "name", "direction", "path_name", "trace", "_timers", "_rng",
+        "delay", "jitter", "loss", "rate_pps", "buffer_pkts",
+        "_busy_until", "_queued", "sent", "dropped",
+    )
+
+    def __init__(self, sim, path_name: str, direction: str,
+                 profile: NetemProfile):
+        self.name = f"{path_name}.{direction}"
+        self.direction = direction
+        self.path_name = path_name
+        self.trace = sim.trace
+        self._timers = sim.timers
+        self._rng = sim.rng
+        self.delay = profile.delay
+        self.jitter = profile.jitter
+        self.loss = profile.loss
+        self.rate_pps: Optional[float] = (
+            None if profile.rate_mbps is None
+            else mbps_to_pps(profile.rate_mbps)
+        )
+        self.buffer_pkts = profile.buffer_pkts
+        self._busy_until = 0.0
+        self._queued = 0
+        self.sent = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def set_rate_mbps(self, mbps: Optional[float]) -> None:
+        """Change the emulated line rate (``LinkSchedule`` calls this
+        through :meth:`RtPath.set_rate_mbps`).  0 starts an outage."""
+        self.rate_pps = None if mbps is None else mbps_to_pps(mbps)
+        if self.trace.enabled:
+            self.trace.emit(
+                "rt.netem",
+                self._timers.now,
+                path=self.path_name,
+                direction=self.direction,
+                rate_mbps=mbps,
+            )
+
+    # ------------------------------------------------------------------
+    def admit(self, datagram: bytes, size: float, send, flow=None,
+              seq=None) -> bool:
+        """Impair one datagram; ``send(datagram)`` fires when (if) it
+        clears the emulated path.  Returns False when dropped."""
+        now = self._timers.now
+        if self.loss and self._rng.random() < self.loss:
+            return self._drop(flow, seq)
+        rate = self.rate_pps
+        if rate is None:
+            depart = now
+        elif rate <= 0.0:
+            # Coverage outage: the emulated medium carries nothing.
+            return self._drop(flow, seq)
+        else:
+            if self._queued >= self.buffer_pkts:
+                return self._drop(flow, seq)
+            start = self._busy_until if self._busy_until > now else now
+            depart = start + size / rate
+            self._busy_until = depart
+            self._queued += 1
+            self._timers.schedule_at(depart, self._served)
+        delay = self.delay
+        if self.jitter:
+            delay += self._rng.uniform(-self.jitter, self.jitter)
+            if delay < 0.0:
+                delay = 0.0
+        self.sent += 1
+        when = depart + delay
+        if when <= now:
+            send(datagram)  # unimpaired: straight onto the socket
+        else:
+            self._timers.schedule_at(when, send, datagram)
+        return True
+
+    def _served(self) -> None:
+        self._queued -= 1
+
+    def _drop(self, flow, seq) -> bool:
+        self.dropped += 1
+        if self.trace.enabled:
+            self.trace.emit(
+                "pkt.drop",
+                self._timers.now,
+                elem=self.name,
+                kind="netem",
+                flow=flow,
+                seq=seq,
+            )
+        return False
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Packets waiting on the emulated line (rate-limited only)."""
+        return self._queued
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NetemChannel({self.name!r}, rate_pps={self.rate_pps}, "
+            f"sent={self.sent}, dropped={self.dropped})"
+        )
+
+
+#: Derive a tweaked profile, e.g. ``profile_replace(PROFILES['lan'],
+#: loss=0.05)`` (just ``dataclasses.replace``, re-exported).
+profile_replace = replace

@@ -1,6 +1,16 @@
 """Discrete-event simulation engine."""
 
+from .clock import Clock, TimerHandle, Timers, Wire
 from .engine import EventHandle, EventScheduler, SimulationError
 from .simulation import Simulation
 
-__all__ = ["EventHandle", "EventScheduler", "SimulationError", "Simulation"]
+__all__ = [
+    "Clock",
+    "EventHandle",
+    "EventScheduler",
+    "SimulationError",
+    "Simulation",
+    "TimerHandle",
+    "Timers",
+    "Wire",
+]

@@ -71,7 +71,9 @@ class TcpReceiver:
         self.name = name
         self.enable_sack = enable_sack
         self.trace = sim.trace if trace is None else trace
-        self._sched = sim.scheduler
+        # Timers seam (repro.sim.clock): the sim scheduler or the real
+        # backend's asyncio timer wrapper, whichever this sim carries.
+        self._sched = sim.timers
         if delayed_ack < 1:
             raise ValueError(f"delayed_ack must be >= 1, got {delayed_ack!r}")
         self.delayed_ack = delayed_ack

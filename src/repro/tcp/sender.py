@@ -85,9 +85,12 @@ class TcpSender:
         self.name = name
         self.enable_sack = enable_sack
         self.trace = sim.trace if trace is None else trace
-        # The scheduler is touched on every transmit/ACK/timer operation;
-        # going through the Simulation.now property costs a call per access.
-        self._sched = sim.scheduler
+        # The Timers seam (repro.sim.clock) is touched on every
+        # transmit/ACK/timer operation; going through the Simulation.now
+        # property costs a call per access, so cache the implementation.
+        # On the sim backend this is the event scheduler itself; on the
+        # real-network backend it wraps the asyncio loop's monotonic clock.
+        self._sched = sim.timers
 
         # Window state (packets).
         self.cwnd = float(init_cwnd)

@@ -173,6 +173,21 @@ SWEEP_GRIDS = {
         "duration": 16.0,
         "title": "Subflow churn: one path repeatedly dying and recovering",
     },
+    "rt_loopback": {
+        "scenario": "rt_loopback",
+        "parameters": {
+            "algo": ["lia"],
+            "backend": ["sim", "rt"],
+            "netem": ["lan", "lossy_lan"],
+            "check": [1],
+        },
+        "seed": 5,
+        "warmup": 0.5,
+        "duration": 2.0,
+        "title": "Real-network backend: loopback-UDP two-subflow transfer "
+                 "vs its sim twin (wall-clock seconds per rt point; "
+                 "backend/netem key the result cache — docs/REALNET.md)",
+    },
 }
 
 

@@ -252,7 +252,8 @@ class TestSchemaValidation:
         # tests/test_fault_injection.py; the pathmgr.* lifecycle events
         # in tests/test_pathmgr.py; the hybrid.* flow-class events in
         # tests/test_hybrid.py; the farm.* broker events in
-        # tests/test_farm.py).
+        # tests/test_farm.py; the rt.* real-backend events in
+        # tests/test_rt_loop.py and tests/test_rt_divergence.py).
         assert set(EVENT_TYPES) == {
             "pkt.enqueue", "pkt.drop", "pkt.deliver", "cc.cwnd_update",
             "tcp.timeout", "tcp.fast_retransmit", "mptcp.dsn_ack",
@@ -270,6 +271,8 @@ class TestSchemaValidation:
             "pathmgr.path_up", "pathmgr.standby_activate",
             "pathmgr.handover",
             "hybrid.attach", "hybrid.class_state", "hybrid.link_state",
+            "rt.run", "rt.channel_open", "rt.ctrl", "rt.codec_error",
+            "rt.netem", "rt.divergence",
         }
 
     def test_validate_jsonl_roundtrip_and_errors(self, tmp_path):
